@@ -1,0 +1,118 @@
+#include "bench_support.hpp"
+
+#include <algorithm>
+
+#include "primitives/bc.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/cc.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/sssp.hpp"
+#include "util/error.hpp"
+
+namespace mgg::bench {
+
+VertexT pick_source(const graph::Graph& g) {
+  VertexT best = 0;
+  SizeT best_degree = 0;
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (g.degree(v) > best_degree) {
+      best = v;
+      best_degree = g.degree(v);
+    }
+  }
+  return best;
+}
+
+core::Config config_for_primitive(const std::string& primitive, int num_gpus,
+                                  std::uint64_t seed) {
+  core::Config cfg;
+  cfg.num_gpus = num_gpus;
+  cfg.seed = seed;
+  // Table I / §III-C prescriptions.
+  if (primitive == "bfs" || primitive == "bc") {
+    cfg.duplication = part::Duplication::kAll;
+    cfg.comm = core::CommStrategy::kSelective;
+  } else if (primitive == "dobfs" || primitive == "cc") {
+    cfg.duplication = part::Duplication::kAll;
+    cfg.comm = core::CommStrategy::kBroadcast;
+  } else if (primitive == "sssp") {
+    cfg.duplication = part::Duplication::kOneHop;
+    cfg.comm = core::CommStrategy::kSelective;
+  } else if (primitive == "pr") {
+    cfg.duplication = part::Duplication::kAll;
+    cfg.comm = core::CommStrategy::kSelective;
+    cfg.scheme = vgpu::AllocationScheme::kFixedPrealloc;  // §VI-B
+  } else {
+    throw Error(Status::kNotFound, "unknown primitive '" + primitive + "'");
+  }
+  if (primitive == "cc") {
+    cfg.scheme = vgpu::AllocationScheme::kFixedPrealloc;  // §VI-B
+  }
+  return cfg;
+}
+
+double dataset_scale(const graph::Dataset& ds) {
+  if (ds.spec.paper_edges <= 0 || ds.graph.num_edges == 0) return 1.0;
+  return std::max(1.0, ds.spec.paper_edges /
+                           static_cast<double>(ds.graph.num_edges));
+}
+
+Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
+                      const std::string& gpu_model, core::Config config,
+                      double workload_scale) {
+  auto machine = vgpu::Machine::create(gpu_model, config.num_gpus);
+  machine.set_workload_scale(workload_scale);
+  Outcome outcome;
+  if (primitive == "bfs") {
+    outcome.stats =
+        prim::run_bfs(g, pick_source(g), machine, config).stats;
+  } else if (primitive == "dobfs") {
+    outcome.stats =
+        prim::run_dobfs(g, pick_source(g), machine, config).stats;
+  } else if (primitive == "sssp") {
+    outcome.stats =
+        prim::run_sssp(g, pick_source(g), machine, config).stats;
+  } else if (primitive == "cc") {
+    outcome.stats = prim::run_cc(g, machine, config).stats;
+  } else if (primitive == "bc") {
+    const auto result =
+        prim::run_bc(g, machine, config, {pick_source(g)});
+    outcome.stats = result.stats;
+  } else if (primitive == "pr") {
+    prim::PagerankOptions options;
+    options.max_iterations = 20;
+    outcome.stats = prim::run_pagerank(g, machine, config, options).stats;
+  } else {
+    throw Error(Status::kNotFound, "unknown primitive '" + primitive + "'");
+  }
+  outcome.modeled_ms = outcome.stats.modeled_total_s() * 1e3;
+  // GTEPS against the modeled full-size edge count (paper convention).
+  outcome.gteps = outcome.stats.gteps(static_cast<double>(g.num_edges) *
+                                      workload_scale);
+  return outcome;
+}
+
+std::vector<std::string> suite_datasets(const std::string& suite) {
+  if (suite == "fast") {
+    return {"hollywood-2009", "indochina-2004", "rmat_n20_512"};
+  }
+  if (suite == "full") {
+    return graph::table2_suite();
+  }
+  // default: two per family, moderate sizes.
+  return {"hollywood-2009", "soc-orkut",   "indochina-2004",
+          "uk-2002",        "rmat_n20_512", "rmat_n22_128"};
+}
+
+util::Options parse_common(int argc, char** argv) {
+  return util::Options(argc, argv);
+}
+
+void emit(util::Table& table, const util::Options& options) {
+  table.print();
+  const std::string csv = options.get_string("csv", "");
+  if (!csv.empty()) table.write_csv(csv);
+}
+
+}  // namespace mgg::bench

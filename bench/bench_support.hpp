@@ -1,0 +1,61 @@
+// Shared harness for the per-table / per-figure bench binaries.
+//
+// Every binary accepts:
+//   --suite=fast|default|full   dataset suite size (default "default")
+//   --seed=N                    generator/partitioner seed (default 1)
+//   --csv=PATH                  also write the table as CSV
+// plus binary-specific flags documented in each main().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::bench {
+
+/// One primitive run's outcome in bench terms.
+struct Outcome {
+  vgpu::RunStats stats;
+  double modeled_ms = 0;
+  double gteps = 0;  ///< graph |E| / modeled time (paper convention)
+};
+
+/// Run `primitive` in {"bfs","dobfs","sssp","cc","bc","pr"} on `g`
+/// using `config.num_gpus` devices of a fresh machine of `gpu_model`.
+/// Sources are chosen deterministically (highest-degree vertex).
+/// `workload_scale` models the full-size dataset through the scaled
+/// analog (see Machine::set_workload_scale); pass dataset_scale() for
+/// registry datasets.
+Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
+                      const std::string& gpu_model, core::Config config,
+                      double workload_scale = 1.0);
+
+/// paper |E| / analog |E| for a registry dataset (>= 1).
+double dataset_scale(const graph::Dataset& ds);
+
+/// The per-primitive Config defaults from Table I (duplication /
+/// communication strategy), with `num_gpus` and `seed` applied.
+core::Config config_for_primitive(const std::string& primitive,
+                                  int num_gpus, std::uint64_t seed);
+
+/// Dataset names for a suite size: "fast" (3 small), "default"
+/// (6, two per family), "full" (all of Table II).
+std::vector<std::string> suite_datasets(const std::string& suite);
+
+/// Highest-degree vertex: the deterministic traversal source.
+VertexT pick_source(const graph::Graph& g);
+
+/// Parse the common flags; returns the Options for further queries.
+util::Options parse_common(int argc, char** argv);
+
+/// Print the table and honor --csv.
+void emit(util::Table& table, const util::Options& options);
+
+}  // namespace mgg::bench

@@ -1,0 +1,80 @@
+// Extension (§VIII future work): scale-up vs scale-out.
+//
+// The paper's concluding question: "can we achieve further scalability
+// with multiple nodes, and given the increased latency and decreased
+// bandwidth of those nodes, is it profitable to do so?" — and its
+// §VII-C position that results "motivate a future focus on scaling up
+// (fewer but more powerful nodes, each with more GPUs) in preference
+// to scaling out."
+//
+// This bench runs BFS / DOBFS / PR on 8 GPUs arranged as 1x8, 2x4, and
+// 4x2 (nodes x GPUs-per-node) with an InfiniBand-class inter-node
+// link, plus the single-node 4-GPU reference. Expected shape: the
+// flatter the primitive's communication profile, the worse scale-out
+// hurts — DOBFS (broadcast O((n-1)|V|)) degrades hardest.
+//
+// Flags: --csv=PATH.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+
+namespace {
+
+double run_on(mgg::vgpu::Machine machine, const std::string& primitive,
+              const mgg::graph::Graph& g, double scale,
+              std::uint64_t seed) {
+  using namespace mgg;
+  machine.set_workload_scale(scale);
+  auto cfg =
+      bench::config_for_primitive(primitive, machine.num_devices(), seed);
+  vgpu::RunStats stats;
+  if (primitive == "bfs") {
+    stats = prim::run_bfs(g, bench::pick_source(g), machine, cfg).stats;
+  } else if (primitive == "dobfs") {
+    stats = prim::run_dobfs(g, bench::pick_source(g), machine, cfg).stats;
+  } else {
+    prim::PagerankOptions options;
+    options.max_iterations = 20;
+    stats = prim::run_pagerank(g, machine, cfg, options).stats;
+  }
+  return stats.modeled_total_s() * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  const auto options = bench::parse_common(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+
+  const auto ds = graph::build_dataset("rmat_n22_128", seed);
+  const double scale = bench::dataset_scale(ds);
+
+  util::Table table("Extension: scale-up vs scale-out, modeled ms "
+                    "(rmat_n22_128)");
+  table.set_columns({"primitive", "1 node x 4", "1 node x 8",
+                     "2 nodes x 4", "4 nodes x 2", "scale-out penalty"},
+                    2);
+
+  for (const std::string primitive : {"bfs", "dobfs", "pr"}) {
+    const double up4 = run_on(vgpu::Machine::create("k40", 4), primitive,
+                              ds.graph, scale, seed);
+    const double up8 = run_on(vgpu::Machine::create("k40", 8), primitive,
+                              ds.graph, scale, seed);
+    const double out2x4 =
+        run_on(vgpu::Machine::create_cluster("k40", 4, 2), primitive,
+               ds.graph, scale, seed);
+    const double out4x2 =
+        run_on(vgpu::Machine::create_cluster("k40", 2, 4), primitive,
+               ds.graph, scale, seed);
+    table.add_row({primitive, up4, up8, out2x4, out4x2, out2x4 / up8});
+    std::printf("  %s done\n", primitive.c_str());
+  }
+  std::printf("expected: 8 GPUs in one node beat 2x4 and 4x2 clusters; "
+              "the penalty is largest for communication-bound DOBFS\n");
+  bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// google-benchmark micro suite: core operator and partitioner
+// throughput on the host (real wall time, not the cost model).
+#include <benchmark/benchmark.h>
+
+#include "core/enactor.hpp"
+#include "core/frontier.hpp"
+#include "core/operators.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "primitives/common.hpp"
+#include "vgpu/machine.hpp"
+
+namespace {
+
+using namespace mgg;
+
+graph::Graph bench_graph() {
+  static const graph::Graph g = graph::build_undirected(
+      graph::make_rmat(13, 16, graph::RmatParams::gtgraph(), 11));
+  return g;
+}
+
+struct OpFixture {
+  explicit OpFixture(const graph::Graph& graph)
+      : machine(vgpu::Machine::create("k40", 1)), g(graph) {
+    frontier.init(machine.device(0), vgpu::AllocationScheme::kPreallocFusion,
+                  g.num_vertices, g.num_edges);
+    dedup.resize(g.num_vertices);
+    temp.set_allocator(&machine.device(0).memory());
+    temp_edges.set_allocator(&machine.device(0).memory());
+    ctx = core::OpContext{&machine.device(0), &g,    &frontier,
+                          &temp,              &temp_edges, &dedup,
+                          vgpu::AllocationScheme::kPreallocFusion};
+    // Seed with every vertex for full-graph advances.
+    all_vertices.resize(g.num_vertices);
+    for (VertexT v = 0; v < g.num_vertices; ++v) all_vertices[v] = v;
+  }
+
+  vgpu::Machine machine;
+  graph::Graph g;
+  core::Frontier frontier;
+  util::AtomicBitset dedup;
+  util::Array1D<VertexT> temp{"advance_temp"};
+  util::Array1D<SizeT> temp_edges{"advance_temp_edges"};
+  core::OpContext ctx;
+  std::vector<VertexT> all_vertices;
+};
+
+void BM_AdvanceFilterFused(benchmark::State& state) {
+  auto g = bench_graph();
+  OpFixture fx(g);
+  std::vector<VertexT> visited(g.num_vertices);
+  for (auto _ : state) {
+    std::fill(visited.begin(), visited.end(), 0);
+    fx.frontier.set_input(fx.all_vertices);
+    const SizeT produced =
+        core::advance_filter(fx.ctx, [&](VertexT, VertexT dst, SizeT) {
+          if (visited[dst]) return false;
+          visited[dst] = 1;
+          return true;
+        });
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_edges);
+}
+BENCHMARK(BM_AdvanceFilterFused);
+
+void BM_AdvanceFilterSplit(benchmark::State& state) {
+  auto g = bench_graph();
+  OpFixture fx(g);
+  fx.ctx.scheme = vgpu::AllocationScheme::kMax;
+  std::vector<VertexT> visited(g.num_vertices);
+  for (auto _ : state) {
+    std::fill(visited.begin(), visited.end(), 0);
+    fx.frontier.set_input(fx.all_vertices);
+    const SizeT produced =
+        core::advance_filter(fx.ctx, [&](VertexT, VertexT dst, SizeT) {
+          if (visited[dst]) return false;
+          visited[dst] = 1;
+          return true;
+        });
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_edges);
+}
+BENCHMARK(BM_AdvanceFilterSplit);
+
+void BM_Filter(benchmark::State& state) {
+  auto g = bench_graph();
+  OpFixture fx(g);
+  for (auto _ : state) {
+    fx.frontier.set_input(fx.all_vertices);
+    const SizeT produced =
+        core::filter(fx.ctx, [](VertexT v) { return (v & 1) == 0; });
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices);
+}
+BENCHMARK(BM_Filter);
+
+void BM_AdvancePull(benchmark::State& state) {
+  auto g = bench_graph();
+  OpFixture fx(g);
+  for (auto _ : state) {
+    const SizeT produced = core::advance_pull(
+        fx.ctx, fx.all_vertices,
+        [](VertexT, VertexT parent, SizeT) { return (parent & 7) == 0; });
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices);
+}
+BENCHMARK(BM_AdvancePull);
+
+void BM_Partitioner(benchmark::State& state, const std::string& name) {
+  auto g = bench_graph();
+  const auto partitioner = part::make_partitioner(name);
+  for (auto _ : state) {
+    auto assignment = partitioner->assign(g, 4, 1);
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices);
+}
+BENCHMARK_CAPTURE(BM_Partitioner, random, std::string("random"));
+BENCHMARK_CAPTURE(BM_Partitioner, biasrandom, std::string("biasrandom"));
+BENCHMARK_CAPTURE(BM_Partitioner, metis, std::string("metis"));
+BENCHMARK_CAPTURE(BM_Partitioner, chunk, std::string("chunk"));
+
+void BM_PartitionBuild(benchmark::State& state) {
+  auto g = bench_graph();
+  const auto assignment = part::RandomPartitioner().assign(g, 4, 1);
+  const auto dup = state.range(0) == 0 ? part::Duplication::kOneHop
+                                       : part::Duplication::kAll;
+  for (auto _ : state) {
+    auto pg = part::PartitionedGraph::build(g, assignment, 4, dup);
+    benchmark::DoNotOptimize(pg);
+  }
+}
+BENCHMARK(BM_PartitionBuild)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

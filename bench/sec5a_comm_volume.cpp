@@ -1,0 +1,78 @@
+// §V-A: communication-volume and latency sensitivity.
+//
+// The paper artificially increases H and finds (1) runtime varies
+// linearly with H, (2) DOBFS is hurt more than BFS and PR because its
+// W and H are the same scale, and (3) a 10x latency increase makes no
+// appreciable difference.
+//
+// We reproduce both injections through the Interconnect fault knobs:
+// a volume-multiplier sweep {1, 2, 4, 8} and a latency x10 run.
+//
+// Flags: --gpus=N (default 4), --csv=PATH.
+#include "bench_support.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+
+namespace {
+
+double run_with_injection(const std::string& primitive,
+                          const mgg::graph::Graph& g, int gpus,
+                          double scale, double volume_mult,
+                          double latency_mult, std::uint64_t seed) {
+  using namespace mgg;
+  auto cfg = bench::config_for_primitive(primitive, gpus, seed);
+  auto machine = vgpu::Machine::create("k40", gpus);
+  machine.set_workload_scale(scale);
+  // Compose the §V-A injection on top of the scale compensation.
+  machine.interconnect().set_volume_multiplier(
+      machine.interconnect().volume_multiplier() * volume_mult);
+  machine.interconnect().set_latency_multiplier(latency_mult);
+
+  vgpu::RunStats stats;
+  if (primitive == "bfs") {
+    stats = prim::run_bfs(g, bench::pick_source(g), machine, cfg).stats;
+  } else if (primitive == "dobfs") {
+    stats = prim::run_dobfs(g, bench::pick_source(g), machine, cfg).stats;
+  } else {
+    prim::PagerankOptions options;
+    options.max_iterations = 20;
+    stats = prim::run_pagerank(g, machine, cfg, options).stats;
+  }
+  return stats.modeled_total_s() * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  const auto options = bench::parse_common(argc, argv);
+  const int gpus = static_cast<int>(options.get_int("gpus", 4));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+
+  const auto ds = graph::build_dataset("rmat_n22_128", seed);
+  const double scale = bench::dataset_scale(ds);
+
+  util::Table table("Sec. V-A: runtime (ms) vs injected communication "
+                    "volume / latency (" +
+                    std::to_string(gpus) + " GPUs, rmat_n22_128)");
+  table.set_columns({"primitive", "H x1", "H x2", "H x4", "H x8",
+                     "slowdown @x8", "latency x10 / x1"},
+                    3);
+
+  for (const std::string primitive : {"bfs", "dobfs", "pr"}) {
+    std::vector<double> ms;
+    for (const double mult : {1.0, 2.0, 4.0, 8.0}) {
+      ms.push_back(run_with_injection(primitive, ds.graph, gpus, scale,
+                                      mult, 1.0, seed));
+    }
+    const double lat10 = run_with_injection(primitive, ds.graph, gpus,
+                                            scale, 1.0, 10.0, seed);
+    table.add_row({primitive, ms[0], ms[1], ms[2], ms[3], ms[3] / ms[0],
+                   lat10 / ms[0]});
+  }
+  std::printf("expected: runtime linear in H; DOBFS slowdown @x8 largest; "
+              "latency x10 ratio ~1.0\n");
+  bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// §V-B: per-iteration synchronization overhead l.
+//
+// The paper measures l by letting each GPU visit only 1 vertex and 1
+// edge per iteration (a chain graph) — the smallest per-iteration
+// workload possible — and reports average per-iteration times of
+// {66.8, 124, 142, 188} us for 1-4 GPUs, with runtime linear in S.
+//
+// Flags: --chain=N vertices (default 4096), --max-gpus=N, --csv=PATH.
+#include "bench_support.hpp"
+#include "graph/generators.hpp"
+#include "primitives/bfs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  const auto options = bench::parse_common(argc, argv);
+  const auto chain_n =
+      static_cast<VertexT>(options.get_int("chain", 4096));
+  const int max_gpus = static_cast<int>(options.get_int("max-gpus", 6));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+
+  const auto g = graph::build_undirected(graph::make_chain(chain_n));
+
+  util::Table table("Sec. V-B: per-iteration overhead, BFS on a " +
+                    std::to_string(chain_n) + "-vertex chain");
+  table.set_columns({"GPUs", "iterations", "total ms (modeled)",
+                     "us per iteration", "paper us/iter"},
+                    1);
+  const std::vector<double> paper = {66.8, 124, 142, 188};
+
+  for (int gpus = 1; gpus <= max_gpus; ++gpus) {
+    // Chunk partitioning keeps the chain contiguous so every iteration
+    // really does visit exactly one vertex and one edge per GPU.
+    auto cfg = bench::config_for_primitive("bfs", gpus, seed);
+    cfg.partitioner = "chunk";
+    const auto outcome = bench::run_primitive("bfs", g, "k40", cfg, 1.0);
+    const double us_per_iter = outcome.stats.modeled_total_s() * 1e6 /
+                               static_cast<double>(outcome.stats.iterations);
+    table.add_row({static_cast<long long>(gpus),
+                   static_cast<long long>(outcome.stats.iterations),
+                   outcome.modeled_ms, us_per_iter,
+                   gpus <= 4 ? paper[gpus - 1] : 0.0});
+  }
+  std::printf("expected: runtime linear in S; a jump from 1 to 2 GPUs "
+              "(inter-GPU sync appears), then gradual growth\n");
+  bench::emit(table, options);
+  return 0;
+}

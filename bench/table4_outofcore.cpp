@@ -1,0 +1,134 @@
+// Table IV: comparison with out-of-core GPU and CPU systems.
+//
+// Rows follow the paper: for each highlighted dataset and primitive,
+// the published reference time next to our framework's modeled time on
+// the smallest viable GPU count, plus the in-repo out-of-core GAS
+// baseline (GraphReduce-style streaming) to show *why* in-core wins
+// when the graph fits: the streaming engine pays the full PCIe pass
+// every iteration.
+//
+// Flags: --csv=PATH.
+#include <string>
+
+#include "baselines/frog_async.hpp"
+#include "baselines/out_of_core.hpp"
+#include "baselines/totem_hybrid.hpp"
+#include "bench_support.hpp"
+
+namespace {
+
+struct Row {
+  const char* graph;
+  const char* algo;        // bfs / sssp / cc / pr / bc
+  const char* ref_system;  // published system & hardware
+  double ref_seconds;      // published time
+  int our_gpus;
+  double paper_ours_seconds;  // the paper's measured time
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  const auto options = bench::parse_common(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+
+  const std::vector<Row> rows = {
+      {"uk-2002", "bfs", "GraphReduce 1xK40", 49, 1, 0.059},
+      {"uk-2002", "sssp", "GraphReduce 1xK40", 80, 1, 0.76},
+      {"uk-2002", "cc", "GraphReduce 1xK40", 153, 1, 1.85},
+      {"uk-2002", "pr", "GraphReduce 1xK40", 162, 1, 1.99},
+      {"twitter-rv", "bfs", "Frog 1xK40", 46, 1, 0.098},
+      {"twitter-rv", "cc", "Frog 1xK40", 29, 3, 1.71},
+      {"twitter-rv", "pr", "Frog 1xK40", 80, 1, 49.7},
+      {"soc-LiveJournal1", "bfs", "Frog 1xK40", 0.0664, 1, 0.0122},
+      {"soc-LiveJournal1", "cc", "Frog 1xK40", 0.213, 1, 0.0936},
+      {"soc-LiveJournal1", "pr", "Frog 1xK40", 0.105, 1, 0.0457},
+      {"twitter-rv", "sssp", "GraphMap 84 cores", 126, 2, 2.20},
+      {"twitter-rv", "cc", "GraphMap 84 cores", 304, 3, 1.71},
+      {"twitter-rv", "pr", "GraphMap 84 cores", 149, 1, 49.7},
+      {"twitter-mpi", "bfs", "Totem 2xK40+2xCPU", 0.698, 4, 0.0785},
+      {"twitter-mpi", "sssp", "Totem 2xK40+2xCPU", 2.67, 4, 1.62},
+      {"twitter-mpi", "bc", "Totem 2xK40+2xCPU", 3.90, 4, 2.37},
+  };
+
+  util::Table table("Table IV: vs out-of-core GPU / CPU systems (seconds)");
+  table.set_columns({"graph", "algo", "reference system", "ref s",
+                     "ours s (modeled)", "speedup", "paper speedup",
+                     "ooc-GAS baseline s"},
+                    3);
+
+  for (const auto& row : rows) {
+    const auto ds = graph::build_dataset(row.graph, seed);
+    const double scale = bench::dataset_scale(ds);
+    auto cfg = bench::config_for_primitive(row.algo, row.our_gpus, seed);
+    const auto ours =
+        bench::run_primitive(row.algo, ds.graph, "k40", cfg, scale);
+    const double ours_s = ours.stats.modeled_total_s();
+
+    // In-repo out-of-core baseline (skip for bc: GAS engines in this
+    // class did not implement it).
+    double ooc_s = 0;
+    if (std::string(row.algo) != "bc") {
+      auto machine = vgpu::Machine::create("k40", 1);
+      const auto result = baselines::out_of_core_gas(
+          ds.graph, row.algo, bench::pick_source(ds.graph), machine, 20);
+      // Stream volume and compute scale ~linearly with |E|.
+      ooc_s = result.stats.modeled_total_s() * scale;
+    }
+
+    table.add_row({row.graph, row.algo, row.ref_system, row.ref_seconds,
+                   ours_s, row.ref_seconds / ours_s,
+                   row.ref_seconds / row.paper_ours_seconds, ooc_s});
+  }
+  bench::emit(table, options);
+
+  // --- Second table: the competing *approaches* rebuilt in-repo, all
+  // on the same uk-2002 analog and device model, so the architecture
+  // comparison (in-core framework vs streaming GAS vs async coloring
+  // vs hybrid CPU+GPU) is apples-to-apples.
+  {
+    const auto ds = graph::build_dataset("uk-2002", seed);
+    const double scale = bench::dataset_scale(ds);
+    const VertexT src = bench::pick_source(ds.graph);
+    util::Table approaches(
+        "Approach baselines on uk-2002 (modeled seconds, 1 GPU)");
+    approaches.set_columns(
+        {"algo", "ours (framework)", "ooc-GAS (GraphReduce-like)",
+         "async coloring (Frog-like)", "hybrid CPU+GPU (Totem-like)"},
+        3);
+    for (const std::string algo : {"bfs", "sssp", "cc", "pr"}) {
+      auto cfg = bench::config_for_primitive(algo, 1, seed);
+      const double ours =
+          bench::run_primitive(algo, ds.graph, "k40", cfg, scale)
+              .stats.modeled_total_s();
+
+      auto m_ooc = vgpu::Machine::create("k40", 1);
+      const double ooc =
+          baselines::out_of_core_gas(ds.graph, algo, src, m_ooc, 20)
+              .stats.modeled_total_s() *
+          scale;
+
+      auto m_frog = vgpu::Machine::create("k40", 1);
+      m_frog.set_workload_scale(scale);
+      const double frog =
+          baselines::frog_async(ds.graph, algo, src, m_frog, 20)
+              .stats.modeled_total_s();
+
+      double totem = 0;
+      if (algo != "cc") {  // beyond Totem's direct-neighbor model
+        auto m_totem = vgpu::Machine::create("k40", 1);
+        m_totem.set_workload_scale(scale);
+        totem = baselines::totem_hybrid(ds.graph, algo, src, m_totem, 0.8,
+                                        20)
+                    .stats.modeled_total_s();
+      }
+      approaches.add_row({algo, ours, ooc, frog, totem});
+    }
+    std::printf("(totem-like CC is 0: pointer jumping exceeds the "
+                "hybrid's direct-neighbor model — the paper's "
+                "generality critique)\n");
+    bench::emit(approaches, options);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Web-crawl ranking: PageRank + DOBFS reachability over a host-local
+// web graph, using the chunk partitioner that exploits crawl locality.
+//
+//   ./web_ranking [--gpus=4] [--hosts=400] [--pages=64]
+//
+// Demonstrates: the partitioner interface (chunk vs random on a graph
+// with index locality), direction-optimizing traversal from the most
+// linked page, and per-run statistics for comparing configurations.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+#include "util/options.hpp"
+#include "vgpu/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  util::Options options(argc, argv);
+  const int gpus = static_cast<int>(options.get_int("gpus", 4));
+  const auto hosts = static_cast<VertexT>(options.get_int("hosts", 400));
+  const auto pages = static_cast<VertexT>(options.get_int("pages", 64));
+
+  const auto g = graph::build_undirected(
+      graph::make_web(hosts, pages, /*links_per_page=*/14));
+  std::printf("web crawl: %u hosts x %u pages = %u pages, %u links\n",
+              hosts, pages, g.num_vertices, g.num_edges / 2);
+
+  auto machine = vgpu::Machine::create("k40", gpus);
+
+  // --- PageRank under two partitioners. Crawl vertex IDs are
+  // host-clustered, so chunk partitioning keeps most links local. ---
+  for (const char* partitioner : {"random", "chunk"}) {
+    core::Config config;
+    config.num_gpus = gpus;
+    config.partitioner = partitioner;
+    const auto pr = prim::run_pagerank(g, machine, config);
+    std::printf("PageRank [%7s partitioner]: %.2f ms modeled, "
+                "%llu vertices communicated\n",
+                partitioner, pr.stats.modeled_total_s() * 1e3,
+                static_cast<unsigned long long>(pr.stats.total_comm_items));
+  }
+
+  // --- Rank pages and traverse from the top one. ---
+  core::Config config;
+  config.num_gpus = gpus;
+  const auto pr = prim::run_pagerank(g, machine, config);
+  const auto top = static_cast<VertexT>(
+      std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin());
+  std::printf("\ntop page: vertex %u (host %u), rank %.6f\n", top,
+              top / pages, pr.rank[top]);
+
+  const auto reach = prim::run_dobfs(g, top, machine, config);
+  VertexT reached = 0;
+  for (const VertexT label : reach.labels) {
+    if (label != kInvalidVertex) ++reached;
+  }
+  std::printf("DOBFS from top page: reached %u pages (%.1f%%), "
+              "%d direction switch(es), %.2f ms modeled\n",
+              reached, 100.0 * reached / g.num_vertices,
+              reach.direction_switches,
+              reach.stats.modeled_total_s() * 1e3);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// 2D-partitioned BFS baseline (Fu et al. [3][25] / Bisson et al. [8]).
+//
+// GPU-cluster BFS systems partition the adjacency matrix into an
+// R x C grid of blocks. Each iteration is an expand over the local
+// block followed by a *column contraction*: every GPU in a matrix
+// column exchanges its discovered-vertex bitmap with the others, then
+// the deduplicated frontier is redistributed along rows. The paper's
+// critique (§II-A) is that the whole edge frontier crosses the fabric
+// each level — large communication volume, 1-hop-only pattern, poor
+// algorithm generality. This baseline reproduces the computation
+// exactly and charges that 2D communication volume, so Table III's
+// framework-vs-2D rows can be regenerated.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::baselines {
+
+struct Bfs2dResult {
+  std::vector<VertexT> labels;
+  vgpu::RunStats stats;
+};
+
+/// Run 2D BFS on a rows x cols GPU grid (rows*cols devices used).
+Bfs2dResult bfs_2d(const graph::Graph& g, VertexT src,
+                   vgpu::Machine& machine, int rows, int cols);
+
+}  // namespace mgg::baselines

@@ -1,0 +1,170 @@
+#include "baselines/cpu_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mgg::baselines {
+
+using graph::Graph;
+
+std::vector<VertexT> cpu_bfs(const Graph& g, VertexT src) {
+  MGG_REQUIRE(src < g.num_vertices, "source out of range");
+  std::vector<VertexT> depth(g.num_vertices, kInvalidVertex);
+  std::vector<VertexT> frontier{src};
+  depth[src] = 0;
+  VertexT level = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexT> next;
+    for (const VertexT u : frontier) {
+      for (const VertexT v : g.neighbors(u)) {
+        if (depth[v] == kInvalidVertex) {
+          depth[v] = level + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  return depth;
+}
+
+std::vector<ValueT> cpu_sssp(const Graph& g, VertexT src) {
+  MGG_REQUIRE(src < g.num_vertices, "source out of range");
+  MGG_REQUIRE(g.has_values(), "SSSP needs edge values");
+  constexpr ValueT kInf = std::numeric_limits<ValueT>::infinity();
+  std::vector<ValueT> dist(g.num_vertices, kInf);
+  using Item = std::pair<ValueT, VertexT>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const auto [begin, end] = g.edge_range(u);
+    for (SizeT e = begin; e < end; ++e) {
+      const VertexT v = g.col_indices[e];
+      const ValueT nd = d + g.edge_values[e];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexT> cpu_cc(const Graph& g) {
+  // Union-find with path halving, then relabel every root to the
+  // minimum vertex ID in its component for a canonical answer.
+  std::vector<VertexT> parent(g.num_vertices);
+  std::iota(parent.begin(), parent.end(), VertexT{0});
+  auto find = [&parent](VertexT v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexT u = 0; u < g.num_vertices; ++u) {
+    for (const VertexT v : g.neighbors(u)) {
+      const VertexT ru = find(u);
+      const VertexT rv = find(v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<VertexT> label(g.num_vertices);
+  for (VertexT v = 0; v < g.num_vertices; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<ValueT> cpu_pagerank(const Graph& g, ValueT damping,
+                                 ValueT threshold, int max_iterations) {
+  const auto n = static_cast<ValueT>(g.num_vertices);
+  std::vector<ValueT> rank(g.num_vertices, ValueT{1} / n);
+  std::vector<ValueT> next(g.num_vertices, 0);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), ValueT{0});
+    for (VertexT u = 0; u < g.num_vertices; ++u) {
+      const SizeT deg = g.degree(u);
+      if (deg == 0) continue;
+      const ValueT share = rank[u] / static_cast<ValueT>(deg);
+      for (const VertexT v : g.neighbors(u)) next[v] += share;
+    }
+    ValueT max_rel_delta = 0;
+    for (VertexT v = 0; v < g.num_vertices; ++v) {
+      const ValueT nr = (ValueT{1} - damping) / n + damping * next[v];
+      max_rel_delta =
+          std::max(max_rel_delta, std::abs(nr - rank[v]) /
+                                      std::max(rank[v], ValueT{1e-12f}));
+      rank[v] = nr;
+    }
+    if (max_rel_delta < threshold) break;
+  }
+  return rank;
+}
+
+std::vector<ValueT> cpu_bc_single_source(const Graph& g, VertexT src) {
+  MGG_REQUIRE(src < g.num_vertices, "source out of range");
+  // Brandes' algorithm: BFS computing sigma (shortest-path counts),
+  // then reverse-order dependency accumulation.
+  std::vector<VertexT> depth(g.num_vertices, kInvalidVertex);
+  std::vector<double> sigma(g.num_vertices, 0);
+  std::vector<double> delta(g.num_vertices, 0);
+  std::vector<VertexT> order;  // BFS visitation order
+  order.reserve(g.num_vertices);
+
+  depth[src] = 0;
+  sigma[src] = 1;
+  std::vector<VertexT> frontier{src};
+  VertexT level = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexT> next;
+    for (const VertexT u : frontier) order.push_back(u);
+    for (const VertexT u : frontier) {
+      for (const VertexT v : g.neighbors(u)) {
+        if (depth[v] == kInvalidVertex) {
+          depth[v] = level + 1;
+          next.push_back(v);
+        }
+        if (depth[v] == level + 1) sigma[v] += sigma[u];
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexT w = *it;
+    for (const VertexT v : g.neighbors(w)) {
+      if (depth[v] + 1 == depth[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+  }
+  std::vector<ValueT> bc(g.num_vertices, 0);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (v != src) bc[v] = static_cast<ValueT>(delta[v]);
+  }
+  return bc;
+}
+
+std::vector<ValueT> cpu_bc_all_sources(const Graph& g) {
+  std::vector<ValueT> bc(g.num_vertices, 0);
+  for (VertexT src = 0; src < g.num_vertices; ++src) {
+    const auto partial = cpu_bc_single_source(g, src);
+    for (VertexT v = 0; v < g.num_vertices; ++v) bc[v] += partial[v];
+  }
+  // Each undirected shortest path is counted twice (once per endpoint).
+  for (auto& value : bc) value /= 2;
+  return bc;
+}
+
+}  // namespace mgg::baselines

@@ -1,0 +1,64 @@
+// Single-threaded CPU reference implementations of all six primitives.
+//
+// These serve two roles: (1) the correctness oracle for the multi-GPU
+// framework's tests, and (2) the "CPU system" baseline in the Table IV
+// style comparison (GraphMap et al. are CPU frameworks).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgg::baselines {
+
+/// BFS depths from `src`; kInvalidVertex for unreachable vertices.
+std::vector<VertexT> cpu_bfs(const graph::Graph& g, VertexT src);
+
+/// Generic BFS over any Csr instantiation (used to validate the 64-bit
+/// ID graphs of Table V end-to-end on the host).
+template <typename V, typename S, typename W>
+std::vector<V> cpu_bfs_generic(const graph::Csr<V, S, W>& g, V src) {
+  std::vector<V> depth(g.num_vertices, invalid_vertex_v<V>);
+  std::vector<V> frontier{src};
+  depth[src] = 0;
+  V level = 0;
+  while (!frontier.empty()) {
+    std::vector<V> next;
+    for (const V u : frontier) {
+      for (const V v : g.neighbors(u)) {
+        if (depth[v] == invalid_vertex_v<V>) {
+          depth[v] = level + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  return depth;
+}
+
+/// Dijkstra shortest-path distances (edge values must be >= 0);
+/// infinity() for unreachable vertices.
+std::vector<ValueT> cpu_sssp(const graph::Graph& g, VertexT src);
+
+/// Connected-component labels: each vertex mapped to the smallest
+/// vertex ID in its (weakly, via the symmetrized edges) connected
+/// component.
+std::vector<VertexT> cpu_cc(const graph::Graph& g);
+
+/// PageRank with damping `d`, run until every rank moves by less than
+/// `threshold` relative or `max_iterations` is hit. Matches the
+/// framework's push formulation (contributions split by out-degree;
+/// dangling vertices contribute nothing, as in Gunrock).
+std::vector<ValueT> cpu_pagerank(const graph::Graph& g, ValueT damping,
+                                 ValueT threshold, int max_iterations);
+
+/// Brandes betweenness centrality from a single source (unnormalized
+/// partial dependency scores). Accumulate over sources for full BC.
+std::vector<ValueT> cpu_bc_single_source(const graph::Graph& g, VertexT src);
+
+/// Exact BC over all sources (small graphs only; O(VE)).
+std::vector<ValueT> cpu_bc_all_sources(const graph::Graph& g);
+
+}  // namespace mgg::baselines

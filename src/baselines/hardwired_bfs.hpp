@@ -1,0 +1,31 @@
+// Hardwired multi-GPU BFS baseline (Merrill et al. [7] style).
+//
+// Represents the "primitive-specific implementation" class of systems
+// the paper compares against in Table III: no framework, vertices
+// distributed by contiguous chunks, and *peer memory access* instead
+// of message passing — when a GPU discovers a vertex hosted elsewhere
+// it writes the label directly across the PCIe fabric. That design is
+// fast for BFS but (a) is BFS-only, (b) requires peer-capable hardware,
+// and (c) suffers load imbalance between local and remote accesses —
+// the modeled per-access remote cost below is how that imbalance
+// enters the BSP time.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::baselines {
+
+struct HardwiredBfsResult {
+  std::vector<VertexT> labels;
+  vgpu::RunStats stats;
+};
+
+/// Run the hardwired BFS on `num_gpus` devices of `machine`.
+HardwiredBfsResult hardwired_bfs(const graph::Graph& g, VertexT src,
+                                 vgpu::Machine& machine, int num_gpus);
+
+}  // namespace mgg::baselines

@@ -1,0 +1,36 @@
+// Out-of-core GAS baseline (GraphReduce [15] style).
+//
+// A single GPU processes a graph larger than its memory by splitting
+// it into shards kept in host memory and streaming each shard over
+// PCIe every iteration. The Gather-Apply-Scatter formulation keeps
+// programmability, but the PCIe bus becomes the bottleneck: every
+// iteration pays |E_shard_bytes| of host->device traffic regardless of
+// how small the active frontier is. Table IV's comparison — seconds
+// for out-of-core vs milliseconds in-core — falls out of exactly this
+// structure.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::baselines {
+
+struct OutOfCoreResult {
+  std::vector<VertexT> labels;  ///< BFS depths (bfs) / component ids (cc)
+  std::vector<ValueT> values;   ///< distances (sssp) / ranks (pr)
+  vgpu::RunStats stats;
+};
+
+/// Streaming GAS engine: runs `algo` in {"bfs", "sssp", "cc", "pr"} on
+/// one device, modeling shard streaming over the host link.
+/// `shard_fraction` is the fraction of the graph resident per shard
+/// pass (GraphReduce uses memory-sized shards; smaller = more traffic).
+OutOfCoreResult out_of_core_gas(const graph::Graph& g,
+                                const std::string& algo, VertexT src,
+                                vgpu::Machine& machine,
+                                int pr_iterations = 20);
+
+}  // namespace mgg::baselines

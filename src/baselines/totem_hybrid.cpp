@@ -1,0 +1,184 @@
+#include "baselines/totem_hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mgg::baselines {
+
+using graph::Graph;
+
+namespace {
+
+/// Modeled sustained CPU edge throughput (a 10-core Xeon of the
+/// paper's era on irregular graph traversal).
+constexpr double kCpuEdgeRate = 0.35e9;
+
+struct Split {
+  std::vector<char> on_gpu;  ///< per vertex
+  std::uint64_t gpu_edges = 0;
+  std::uint64_t cpu_edges = 0;
+  VertexT gpu_vertices = 0;
+};
+
+/// Degree-descending fill: densest vertices go to the GPU until the
+/// edge budget is spent.
+Split split_by_degree(const Graph& g, double gpu_edge_budget) {
+  std::vector<VertexT> order(g.num_vertices);
+  std::iota(order.begin(), order.end(), VertexT{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexT a, VertexT b) {
+    return g.degree(a) > g.degree(b);
+  });
+  Split split;
+  split.on_gpu.assign(g.num_vertices, 0);
+  const auto budget = static_cast<std::uint64_t>(
+      gpu_edge_budget * static_cast<double>(g.num_edges));
+  for (const VertexT v : order) {
+    if (split.gpu_edges + g.degree(v) > budget) break;
+    split.on_gpu[v] = 1;
+    split.gpu_edges += g.degree(v);
+    ++split.gpu_vertices;
+  }
+  split.cpu_edges = g.num_edges - split.gpu_edges;
+  return split;
+}
+
+/// Close one hybrid superstep: the sides run concurrently, then the
+/// boundary updates cross PCIe.
+void charge_superstep(vgpu::Machine& machine, const Split& split,
+                      std::uint64_t gpu_edges_touched,
+                      std::uint64_t cpu_edges_touched,
+                      std::uint64_t boundary_updates,
+                      vgpu::RunStats& stats) {
+  const vgpu::GpuModel& model = machine.model();
+  const double ws = machine.device(0).workload_scale();
+  const double we = static_cast<double>(gpu_edges_touched) * ws;
+  const double gpu_s =
+      (we + std::sqrt(we * model.ramp_items)) / model.edge_rate +
+      3 * model.launch_overhead_s;
+  const double cpu_s =
+      static_cast<double>(cpu_edges_touched) * ws / kCpuEdgeRate;
+  const vgpu::LinkParams link = vgpu::LinkParams::pcie_host_routed();
+  const double comm_s =
+      link.latency * 2 +
+      static_cast<double>(boundary_updates) * ws * 8.0 / link.bandwidth;
+  stats.modeled_compute_s += std::max(gpu_s, cpu_s);
+  stats.modeled_comm_s += comm_s;
+  stats.total_edges += gpu_edges_touched + cpu_edges_touched;
+  stats.total_comm_items += boundary_updates;
+  stats.total_comm_bytes += boundary_updates * 8;
+  stats.total_launches += 3;
+  ++stats.iterations;
+  (void)split;
+}
+
+}  // namespace
+
+TotemResult totem_hybrid(const Graph& g, const std::string& algo,
+                         VertexT src, vgpu::Machine& machine,
+                         double gpu_edge_budget, int pr_iterations) {
+  TotemResult result;
+  const Split split = split_by_degree(g, gpu_edge_budget);
+  result.gpu_vertices = split.gpu_vertices;
+  result.gpu_edge_fraction =
+      g.num_edges == 0
+          ? 0
+          : static_cast<double>(split.gpu_edges) /
+                static_cast<double>(g.num_edges);
+  vgpu::RunStats& stats = result.stats;
+  util::WallTimer timer;
+
+  auto boundary = [&](VertexT u, VertexT v) {
+    return split.on_gpu[u] != split.on_gpu[v];
+  };
+
+  if (algo == "bfs") {
+    MGG_REQUIRE(src < g.num_vertices, "source out of range");
+    auto& depth = result.labels;
+    depth.assign(g.num_vertices, kInvalidVertex);
+    depth[src] = 0;
+    std::vector<VertexT> frontier{src};
+    VertexT level = 0;
+    while (!frontier.empty()) {
+      std::vector<VertexT> next;
+      std::uint64_t gpu_edges = 0, cpu_edges = 0, crossings = 0;
+      for (const VertexT u : frontier) {
+        (split.on_gpu[u] ? gpu_edges : cpu_edges) += g.degree(u);
+        for (const VertexT v : g.neighbors(u)) {
+          if (boundary(u, v)) ++crossings;
+          if (depth[v] == kInvalidVertex) {
+            depth[v] = level + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      charge_superstep(machine, split, gpu_edges, cpu_edges, crossings,
+                       stats);
+      frontier = std::move(next);
+      ++level;
+    }
+  } else if (algo == "sssp") {
+    MGG_REQUIRE(src < g.num_vertices, "source out of range");
+    MGG_REQUIRE(g.has_values(), "SSSP needs edge values");
+    auto& dist = result.values;
+    dist.assign(g.num_vertices, std::numeric_limits<ValueT>::infinity());
+    dist[src] = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::uint64_t gpu_edges = 0, cpu_edges = 0, crossings = 0;
+      for (VertexT u = 0; u < g.num_vertices; ++u) {
+        if (std::isinf(dist[u])) continue;
+        (split.on_gpu[u] ? gpu_edges : cpu_edges) += g.degree(u);
+        const auto [begin, end] = g.edge_range(u);
+        for (SizeT e = begin; e < end; ++e) {
+          const VertexT v = g.col_indices[e];
+          const ValueT nd = dist[u] + g.edge_values[e];
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            changed = true;
+            if (boundary(u, v)) ++crossings;
+          }
+        }
+      }
+      charge_superstep(machine, split, gpu_edges, cpu_edges, crossings,
+                       stats);
+    }
+  } else if (algo == "pr") {
+    auto& rank = result.values;
+    const auto n = static_cast<ValueT>(g.num_vertices);
+    rank.assign(g.num_vertices, ValueT{1} / n);
+    std::vector<ValueT> acc(g.num_vertices);
+    for (int it = 0; it < pr_iterations; ++it) {
+      std::fill(acc.begin(), acc.end(), ValueT{0});
+      std::uint64_t crossings = 0;
+      for (VertexT u = 0; u < g.num_vertices; ++u) {
+        const SizeT deg = g.degree(u);
+        if (deg == 0) continue;
+        const ValueT share = rank[u] / static_cast<ValueT>(deg);
+        for (const VertexT v : g.neighbors(u)) {
+          acc[v] += share;
+          if (boundary(u, v)) ++crossings;
+        }
+      }
+      for (VertexT v = 0; v < g.num_vertices; ++v) {
+        rank[v] = 0.15f / n + 0.85f * acc[v];
+      }
+      charge_superstep(machine, split, split.gpu_edges, split.cpu_edges,
+                       crossings, stats);
+    }
+  } else {
+    throw Error(Status::kInvalidArgument,
+                "totem baseline supports bfs/sssp/pr only (direct-"
+                "neighbor algorithms, the paper's generality critique)");
+  }
+
+  stats.wall_s = timer.seconds();
+  return result;
+}
+
+}  // namespace mgg::baselines

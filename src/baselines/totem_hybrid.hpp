@@ -1,0 +1,40 @@
+// Totem-style hybrid CPU+GPU engine (Gharaibeh et al. [13]).
+//
+// Totem partitions the graph between the host CPU and the GPU —
+// typically the many low-degree vertices go to the CPU and the dense
+// high-degree core to the GPU — and processes both sides each
+// superstep, exchanging boundary updates over PCIe. The paper's §II-A
+// critique: it only works for algorithms that access direct neighbors,
+// and "repeatedly moving data between CPUs and GPUs is costly".
+//
+// This baseline implements the degree-threshold split and a
+// level-synchronous engine for BFS / SSSP / PR, with per-superstep
+// modeled time max(cpu side, gpu side) + boundary transfer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::baselines {
+
+struct TotemResult {
+  std::vector<VertexT> labels;  ///< bfs depths
+  std::vector<ValueT> values;   ///< sssp distances / pr ranks
+  vgpu::RunStats stats;
+  VertexT gpu_vertices = 0;  ///< vertices placed on the GPU side
+  double gpu_edge_fraction = 0;
+};
+
+/// Run `algo` in {"bfs", "sssp", "pr"}. `gpu_edge_budget` is the
+/// fraction of edges placed on the GPU (Totem fills GPU memory with
+/// the densest vertices; 0.8 is a typical split).
+TotemResult totem_hybrid(const graph::Graph& g, const std::string& algo,
+                         VertexT src, vgpu::Machine& machine,
+                         double gpu_edge_budget = 0.8,
+                         int pr_iterations = 20);
+
+}  // namespace mgg::baselines

@@ -1,0 +1,57 @@
+#include "core/comm.hpp"
+
+#include "util/error.hpp"
+
+namespace mgg::core {
+
+std::string to_string(CommStrategy s) {
+  switch (s) {
+    case CommStrategy::kSelective: return "selective";
+    case CommStrategy::kBroadcast: return "broadcast";
+  }
+  return "unknown";
+}
+
+CommBus::CommBus(vgpu::Machine& machine)
+    : machine_(&machine),
+      locks_(machine.num_devices()),
+      inboxes_(machine.num_devices()) {}
+
+void CommBus::push(int src, int dst, Message message) {
+  MGG_REQUIRE(src >= 0 && src < machine_->num_devices(), "bad src GPU");
+  MGG_REQUIRE(dst >= 0 && dst < machine_->num_devices(), "bad dst GPU");
+  MGG_REQUIRE(src != dst, "self-push is a framework bug");
+  if (message.empty()) return;
+  message.src_gpu = src;
+
+  vgpu::Device& sender = machine_->device(src);
+  auto task = [this, src, dst, msg = std::move(message)]() mutable {
+    const std::size_t bytes = msg.payload_bytes();
+    const std::size_t items = msg.vertices.size();
+    const double seconds =
+        machine_->interconnect().transfer_seconds(src, dst, bytes);
+    machine_->device(src).add_comm_cost(seconds, bytes, items);
+    machine_->interconnect().record_transfer(bytes);
+    {
+      std::lock_guard<std::mutex> lock(locks_[dst]);
+      inboxes_[dst].push_back(std::move(msg));
+    }
+  };
+  sender.comm_stream().submit(std::move(task));
+}
+
+std::vector<Message> CommBus::drain(int dst) {
+  std::lock_guard<std::mutex> lock(locks_[dst]);
+  std::vector<Message> out = std::move(inboxes_[dst]);
+  inboxes_[dst].clear();
+  return out;
+}
+
+void CommBus::reset() {
+  for (std::size_t i = 0; i < inboxes_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(locks_[i]);
+    inboxes_[i].clear();
+  }
+}
+
+}  // namespace mgg::core

@@ -1,0 +1,80 @@
+// Inter-GPU communication layer (§III-B's "Package data" / "Push to
+// remote GPUs" steps, and §III-C's communication strategies).
+//
+// A Message is one sender->receiver package for one iteration: the
+// remote sub-frontier plus the primitive-specified associated data
+// (vertex associates like predecessor IDs, value associates like
+// distances or ranks). Pushes are issued on the *sender's*
+// communication stream so they overlap the remainder of the sender's
+// compute work; the modeled transfer cost (latency + bytes/bandwidth,
+// from the Interconnect) is charged to the sender's iteration
+// counters. The receiver drains its inbox after the BSP barrier.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::core {
+
+/// §III-C: how frontiers travel between GPUs.
+enum class CommStrategy {
+  kSelective,  ///< send each vertex only to its host GPU
+  kBroadcast,  ///< send the whole generated frontier to every peer
+};
+
+std::string to_string(CommStrategy s);
+
+struct Message {
+  int src_gpu = -1;
+  /// Primitive-defined discriminator for primitives that exchange more
+  /// than one kind of payload in a run (e.g. BC's sigma partials /
+  /// finalized broadcasts / delta partials).
+  int tag = 0;
+  /// Frontier vertices, already converted to receiver-local IDs
+  /// (selective) or global IDs (broadcast with duplicate-all, where
+  /// local == global).
+  std::vector<VertexT> vertices;
+  /// Per-vertex VertexT-typed associates (e.g. predecessors).
+  std::vector<std::vector<VertexT>> vertex_assoc;
+  /// Per-vertex ValueT-typed associates (e.g. distances, ranks).
+  std::vector<std::vector<ValueT>> value_assoc;
+
+  bool empty() const noexcept { return vertices.empty(); }
+
+  /// Bytes on the wire: the communication volume H in bytes.
+  std::size_t payload_bytes() const noexcept {
+    std::size_t bytes = vertices.size() * sizeof(VertexT);
+    for (const auto& a : vertex_assoc) bytes += a.size() * sizeof(VertexT);
+    for (const auto& a : value_assoc) bytes += a.size() * sizeof(ValueT);
+    return bytes;
+  }
+};
+
+class CommBus {
+ public:
+  explicit CommBus(vgpu::Machine& machine);
+
+  /// Push a message from GPU `src` to GPU `dst`. Enqueued on src's
+  /// comm stream; models the transfer cost, records H counters, and
+  /// deposits into dst's inbox. The sender must synchronize its comm
+  /// stream before the BSP barrier.
+  void push(int src, int dst, Message message);
+
+  /// Take all messages addressed to `dst`. Call only after the barrier
+  /// that follows all senders' comm-stream synchronization.
+  std::vector<Message> drain(int dst);
+
+  /// Drop any undelivered messages (new run).
+  void reset();
+
+ private:
+  vgpu::Machine* machine_;
+  std::vector<std::mutex> locks_;               // per receiver
+  std::vector<std::vector<Message>> inboxes_;   // per receiver
+};
+
+}  // namespace mgg::core

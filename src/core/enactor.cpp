@@ -1,0 +1,319 @@
+#include "core/enactor.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mgg::core {
+
+EnactorBase::EnactorBase(ProblemBase& problem)
+    : problem_(problem), n_(problem.num_gpus()) {
+  const Config& cfg = problem.config();
+  slices_.reserve(n_);
+  for (int gpu = 0; gpu < n_; ++gpu) {
+    auto s = std::make_unique<Slice>();
+    s->gpu = gpu;
+    s->device = &problem.device(gpu);
+    s->sub = &problem.sub(gpu);
+    const graph::Graph& csr = s->sub->csr;
+    s->frontier.init(*s->device, cfg.scheme, csr.num_vertices,
+                     csr.num_edges);
+    s->dedup.resize(csr.num_vertices);
+
+    // The split (non-fused) pipeline keeps an intermediate advance
+    // buffer whose size is the allocation scheme's signature (§VI-B):
+    // worst case |E_i| for max, a sizing factor for fixed, nothing for
+    // the fused schemes (they never materialize it).
+    s->advance_temp.set_allocator(&s->device->memory());
+    s->advance_temp_edges.set_allocator(&s->device->memory());
+    if (cfg.scheme == vgpu::AllocationScheme::kMax) {
+      s->advance_temp.allocate(csr.num_edges);
+      s->advance_temp_edges.allocate(csr.num_edges);
+    } else if (cfg.scheme == vgpu::AllocationScheme::kFixedPrealloc) {
+      const std::size_t factor = static_cast<std::size_t>(
+          static_cast<double>(csr.num_edges) * 0.4 + 16);
+      s->advance_temp.allocate(factor);
+      s->advance_temp_edges.allocate(factor);
+    }
+
+    s->ctx = OpContext{s->device,
+                       &csr,
+                       &s->frontier,
+                       &s->advance_temp,
+                       &s->advance_temp_edges,
+                       &s->dedup,
+                       cfg.scheme,
+                       cfg.load_balance};
+    slices_.push_back(std::move(s));
+  }
+  bus_ = std::make_unique<CommBus>(problem.machine());
+
+  barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
+      n_, std::function<void()>([this] {
+        // Two barriers per iteration share one object; the completion
+        // callback runs exclusively, so plain member state is safe.
+        if (barrier_phase_ == 0) {
+          barrier_phase_ = 1;  // post-push: messages all deposited
+        } else {
+          barrier_phase_ = 0;
+          close_iteration();  // post-combine: close the superstep
+        }
+      }));
+
+  // Spawn the per-GPU control threads (paper: "Our framework manages
+  // each GPU by a dedicated CPU thread to avoid false dependencies
+  // between GPUs").
+  status_.assign(n_, ThreadStatus::kWait);
+  threads_.reserve(n_);
+  for (int gpu = 0; gpu < n_; ++gpu) {
+    threads_.emplace_back([this, gpu] { worker(gpu); });
+  }
+}
+
+EnactorBase::~EnactorBase() {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    for (auto& st : status_) st = ThreadStatus::kToKill;
+  }
+  status_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EnactorBase::fill_associates(Slice&, VertexT, Message&) {}
+void EnactorBase::begin_iteration(std::uint64_t) {}
+bool EnactorBase::converged(bool all_frontiers_empty, std::uint64_t) {
+  return all_frontiers_empty;
+}
+
+void EnactorBase::reset_frontiers() {
+  for (auto& s : slices_) s->frontier.clear();
+}
+
+void EnactorBase::seed_frontier(int gpu,
+                                std::span<const VertexT> local_vertices) {
+  slice(gpu).frontier.set_input(local_vertices);
+}
+
+std::uint64_t EnactorBase::total_combine_items() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slices_) total += s->combine_items;
+  return total;
+}
+
+vgpu::RunStats EnactorBase::enact() {
+  run_stats_ = vgpu::RunStats{};
+  iteration_records_.clear();
+  iteration_ = 0;
+  stop_flag_.store(false, std::memory_order_release);
+  error_flag_.store(false, std::memory_order_release);
+  error_ = nullptr;
+  barrier_phase_ = 0;
+  bus_->reset();
+  for (auto& s : slices_) {
+    s->combine_items = 0;
+    s->device->harvest_iteration();  // drop stale counters
+  }
+  begin_iteration(0);
+
+  util::WallTimer timer;
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    for (auto& st : status_) st = ThreadStatus::kRunning;
+  }
+  status_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(status_mutex_);
+    status_cv_.wait(lock, [this] {
+      for (const auto& st : status_) {
+        if (st != ThreadStatus::kIdle) return false;
+      }
+      return true;
+    });
+    for (auto& st : status_) st = ThreadStatus::kWait;
+  }
+  run_stats_.wall_s = timer.seconds();
+  run_stats_.total_combine_items = total_combine_items();
+
+  if (error_ != nullptr) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  return run_stats_;
+}
+
+void EnactorBase::worker(int gpu) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(status_mutex_);
+      status_cv_.wait(lock, [this, gpu] {
+        return status_[gpu] == ThreadStatus::kRunning ||
+               status_[gpu] == ThreadStatus::kToKill;
+      });
+      if (status_[gpu] == ThreadStatus::kToKill) return;
+    }
+    run_loop(gpu);
+    {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      status_[gpu] = ThreadStatus::kIdle;
+    }
+    status_cv_.notify_all();
+  }
+}
+
+void EnactorBase::record_error() {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  error_flag_.store(true, std::memory_order_release);
+}
+
+void EnactorBase::run_loop(int gpu) {
+  Slice& s = slice(gpu);
+  for (;;) {
+    // --- compute + communicate (overlapped via the comm stream) ---
+    try {
+      if (!has_error()) {
+        iteration_core(s);
+        communicate(s);
+      }
+      s.device->comm_stream().synchronize();
+    } catch (...) {
+      record_error();
+    }
+    barrier_->arrive_and_wait();  // all messages deposited
+
+    // --- combine received sub-frontiers (ExpandIncoming) ---
+    try {
+      auto messages = bus_->drain(gpu);
+      if (!has_error()) {
+        for (const Message& msg : messages) {
+          expand_incoming(s, msg);
+          s.combine_items += msg.vertices.size();
+          // The combine kernel is communication computation (C).
+          s.device->add_kernel_cost(0, msg.vertices.size(), 1);
+        }
+      }
+    } catch (...) {
+      record_error();
+    }
+    barrier_->arrive_and_wait();  // close_iteration ran exclusively
+
+    if (stop_flag_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void EnactorBase::close_iteration() {
+  vgpu::IterationRecord record;
+  record.iteration = iteration_;
+  double max_compute = 0;
+  double max_comm = 0;
+  double sum_compute = 0;
+  for (auto& s : slices_) {
+    const vgpu::IterationCounters c = s->device->harvest_iteration();
+    run_stats_.total_edges += c.edges;
+    run_stats_.total_vertices += c.vertices;
+    run_stats_.total_launches += c.launches;
+    run_stats_.total_comm_bytes += c.bytes_out;
+    run_stats_.total_comm_items += c.items_out;
+    record.edges += c.edges;
+    record.comm_items += c.items_out;
+    max_compute = std::max(max_compute, c.compute_s);
+    max_comm = std::max(max_comm, c.comm_s);
+    sum_compute += c.compute_s;
+  }
+  run_stats_.modeled_compute_s += max_compute;
+  run_stats_.modeled_comm_s += max_comm;
+  const double overhead = vgpu::sync_overhead_seconds(n_) *
+                          slices_[0]->device->model().sync_scale;
+  run_stats_.modeled_overhead_s += overhead;
+  ++run_stats_.iterations;
+  ++iteration_;
+
+  bool all_empty = true;
+  for (const auto& s : slices_) {
+    record.frontier_total += s->frontier.input_size();
+    if (s->frontier.input_size() != 0) {
+      all_empty = false;
+    }
+  }
+  record.compute_s = max_compute;
+  record.comm_s = max_comm;
+  record.overhead_s = overhead;
+  record.gpu_imbalance =
+      sum_compute > 0 ? max_compute / (sum_compute / n_) : 1.0;
+  iteration_records_.push_back(record);
+  const bool stop = has_error() ||
+                    iteration_ >= problem_.config().max_iterations ||
+                    converged(all_empty, iteration_);
+  if (!stop) begin_iteration(iteration_);
+  stop_flag_.store(stop, std::memory_order_release);
+}
+
+void EnactorBase::communicate(Slice& s) {
+  split_frontier_and_push(s);
+}
+
+void EnactorBase::split_frontier_and_push(Slice& s) {
+  Frontier& frontier = s.frontier;
+  if (n_ == 1) {
+    frontier.swap();
+    return;
+  }
+  const part::SubGraph& sub = *s.sub;
+  const auto out = frontier.output();
+  const CommStrategy strategy = problem_.config().comm;
+
+  // Writable view of the output queue for in-place compaction of the
+  // local sub-frontier.
+  VertexT* raw = const_cast<VertexT*>(out.data());
+  SizeT local_count = 0;
+
+  if (strategy == CommStrategy::kBroadcast) {
+    // Each peer receives the whole generated frontier (duplicate-all
+    // guarantees local ID == global ID on every GPU).
+    const int nva = num_vertex_associates();
+    const int nvv = num_value_associates();
+    Message proto;
+    proto.vertices.assign(out.begin(), out.end());
+    proto.vertex_assoc.resize(nva);
+    proto.value_assoc.resize(nvv);
+    for (const VertexT v : out) fill_associates(s, v, proto);
+    for (int peer = 0; peer < n_; ++peer) {
+      if (peer == s.gpu) continue;
+      bus_->push(s.gpu, peer, proto);  // copy per peer
+    }
+    for (const VertexT v : out) {
+      if (sub.is_hosted(v)) raw[local_count++] = v;
+    }
+  } else {
+    std::vector<Message> outbox(n_);
+    for (auto& m : outbox) {
+      m.vertex_assoc.resize(num_vertex_associates());
+      m.value_assoc.resize(num_value_associates());
+    }
+    for (const VertexT v : out) {
+      if (sub.is_hosted(v)) {
+        raw[local_count++] = v;
+      } else {
+        const int owner = sub.owner[v];
+        outbox[owner].vertices.push_back(sub.host_local_id[v]);
+        fill_associates(s, v, outbox[owner]);
+      }
+    }
+    for (int peer = 0; peer < n_; ++peer) {
+      if (peer == s.gpu || outbox[peer].empty()) continue;
+      bus_->push(s.gpu, peer, std::move(outbox[peer]));
+    }
+  }
+
+  // The split/package step is itself a kernel (C in Table I).
+  s.device->add_kernel_cost(0, out.size(), 1);
+  frontier.commit_output(local_count);
+  frontier.swap();
+}
+
+}  // namespace mgg::core

@@ -1,0 +1,178 @@
+// EnactorBase: the multi-GPU iteration driver (§III-B, Fig. 1).
+//
+// The core of an mGPU primitive is an *unmodified* single-GPU
+// iteration body; this class supplies everything around it:
+//
+//   - one dedicated CPU control thread per GPU ("Manage GPUs"), with
+//     the paper's Idle/Wait/Running/ToKill status protocol (Appendix A)
+//     implemented with condition variables instead of sleep(0) spins;
+//   - the per-iteration BSP loop: core -> split -> package -> push ->
+//     barrier -> combine -> barrier -> convergence check;
+//   - the framework-owned communication steps: splitting the output
+//     frontier into local and remote sub-frontiers, packaging the
+//     primitive's associated data, pushing on the communication
+//     stream, and merging received sub-frontiers with the
+//     primitive-supplied combine operation (ExpandIncoming);
+//   - convergence detection (all frontiers empty on every GPU, plus an
+//     optional primitive-specific stop condition);
+//   - BSP cost accounting: per iteration, modeled time advances by
+//     max over GPUs of (compute + communication) plus l(n).
+//
+// A primitive extends this class and implements iteration_core() and
+// expand_incoming(); optionally fill_associates() (what to send),
+// communicate() (for non-frontier-shaped communication like PR's rank
+// pushes), begin_iteration() (e.g. DOBFS's global direction decision),
+// and extra_stop().
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/frontier.hpp"
+#include "core/operators.hpp"
+#include "core/problem.hpp"
+#include "vgpu/cost.hpp"
+
+namespace mgg::core {
+
+class EnactorBase {
+ public:
+  /// Per-GPU runtime state handed to the primitive hooks.
+  struct Slice {
+    int gpu = 0;
+    vgpu::Device* device = nullptr;
+    const part::SubGraph* sub = nullptr;
+    Frontier frontier;
+    util::Array1D<VertexT> advance_temp{"advance_temp"};
+    util::Array1D<SizeT> advance_temp_edges{"advance_temp_edges"};
+    util::AtomicBitset dedup;
+    OpContext ctx;
+    std::uint64_t combine_items = 0;  ///< C: received items processed
+  };
+
+  explicit EnactorBase(ProblemBase& problem);
+  virtual ~EnactorBase();
+
+  EnactorBase(const EnactorBase&) = delete;
+  EnactorBase& operator=(const EnactorBase&) = delete;
+
+  /// Run the primitive to convergence. The problem must have been
+  /// reset (initial frontier seeded) beforehand. Returns modeled run
+  /// statistics; also retrievable via stats().
+  vgpu::RunStats enact();
+
+  const vgpu::RunStats& stats() const noexcept { return run_stats_; }
+
+  /// Per-superstep records of the last enact() (frontier evolution,
+  /// time breakdown). Cleared at the start of every run.
+  const std::vector<vgpu::IterationRecord>& iteration_records() const {
+    return iteration_records_;
+  }
+
+  /// Total received items combined across GPUs (Table I's C measure).
+  std::uint64_t total_combine_items() const;
+
+  Slice& slice(int gpu) { return *slices_[gpu]; }
+  int num_gpus() const noexcept { return n_; }
+
+  /// Empty every GPU's frontier (start of a new run).
+  void reset_frontiers();
+
+  /// Seed GPU `gpu`'s input frontier with local vertex IDs (how
+  /// Problem::Reset places the source vertex, Appendix A).
+  void seed_frontier(int gpu, std::span<const VertexT> local_vertices);
+
+ protected:
+  // ------------------------------------------------------------------
+  // Primitive hooks (the programmer-specified pieces of §III-B).
+  // ------------------------------------------------------------------
+
+  /// FullQueue_Core: one iteration of the unmodified single-GPU
+  /// primitive. Reads slice.frontier.input(), commits output.
+  virtual void iteration_core(Slice& s) = 0;
+
+  /// How many VertexT / ValueT associates accompany each sent vertex.
+  virtual int num_vertex_associates() const { return 0; }
+  virtual int num_value_associates() const { return 0; }
+
+  /// Append the associates of local vertex `v` to the message being
+  /// packaged (called once per remote frontier vertex).
+  virtual void fill_associates(Slice& s, VertexT v, Message& msg);
+
+  /// Expand_Incoming: merge one received message into local data,
+  /// appending vertices that join the next input frontier via
+  /// s.frontier.append_input().
+  virtual void expand_incoming(Slice& s, const Message& msg) = 0;
+
+  /// The framework communication step. The default splits the output
+  /// frontier per the configured strategy (§III-C), packages
+  /// associates, pushes to peers, and swaps the frontier so the local
+  /// sub-frontier becomes the next input. Primitives with
+  /// non-frontier-shaped communication (PR, CC) override this.
+  virtual void communicate(Slice& s);
+
+  /// Called single-threaded before iteration `iteration` begins
+  /// (iteration 0 included). DOBFS decides its direction here.
+  virtual void begin_iteration(std::uint64_t iteration);
+
+  /// Stop condition, evaluated single-threaded at the end of each
+  /// iteration. The default is the paper's: stop when every GPU's
+  /// frontier is empty. Multi-phase primitives (BC's forward+backward
+  /// passes) override this to switch phases instead of stopping.
+  virtual bool converged(bool all_frontiers_empty, std::uint64_t iteration);
+
+  // ------------------------------------------------------------------
+  // Services available to primitives.
+  // ------------------------------------------------------------------
+  ProblemBase& problem() noexcept { return problem_; }
+  CommBus& bus() noexcept { return *bus_; }
+  std::uint64_t iteration() const noexcept { return iteration_; }
+
+  /// Framework split+package+push for a frontier of local vertex IDs;
+  /// reusable by primitives that override communicate() but still move
+  /// frontier-shaped data.
+  void split_frontier_and_push(Slice& s);
+
+ private:
+  enum class ThreadStatus { kWait, kRunning, kIdle, kToKill };
+
+  void worker(int gpu);
+  void run_loop(int gpu);
+  void close_iteration();  // barrier completion, runs exclusively
+  void record_error();
+  bool has_error() const {
+    return error_flag_.load(std::memory_order_acquire);
+  }
+
+  ProblemBase& problem_;
+  int n_ = 0;
+  std::vector<std::unique_ptr<Slice>> slices_;
+  std::unique_ptr<CommBus> bus_;
+
+  // Thread management (paper's ThreadSlice protocol).
+  std::vector<std::thread> threads_;
+  std::mutex status_mutex_;
+  std::condition_variable status_cv_;
+  std::vector<ThreadStatus> status_;
+
+  // BSP machinery.
+  std::unique_ptr<std::barrier<std::function<void()>>> barrier_;
+  int barrier_phase_ = 0;  // 0: after push, 1: after combine
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> error_flag_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+
+  std::uint64_t iteration_ = 0;
+  vgpu::RunStats run_stats_;
+  std::vector<vgpu::IterationRecord> iteration_records_;
+};
+
+}  // namespace mgg::core

@@ -1,0 +1,153 @@
+// Frontier: double-buffered work queues with §VI-B allocation schemes.
+//
+// Iterative graph primitives produce frontiers whose size is unknown
+// until a kernel finishes, so how the output buffers are sized is a
+// real design axis (Fig. 3):
+//   just-enough     — start from a modest estimate; before each
+//                     operator, compute the exact required size (the
+//                     load-balancing scan gives it for free) and
+//                     reallocate only if insufficient.
+//   fixed           — preallocate sizing-factor x |V_i| from previous
+//                     runs of similar graphs; the just-enough backstop
+//                     still applies ("to prevent illegal memory
+//                     access, although this only happens rarely").
+//   max             — worst-case |E_i|-sized buffers: safe, but
+//                     artificially limits the subgraph per GPU.
+//   prealloc+fusion — fixed prealloc, plus the fused advance+filter
+//                     operator (§VI-C) that never materializes the
+//                     intermediate O(|E|) frontier at all.
+#pragma once
+
+#include <span>
+
+#include "graph/types.hpp"
+#include "util/array1d.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/memory.hpp"
+
+namespace mgg::core {
+
+class Frontier {
+ public:
+  Frontier() = default;
+
+  /// Bind to a device and size the queues per the allocation scheme.
+  /// `num_vertices` is |V_i| (queue cap for filtered frontiers);
+  /// `num_edges` is |E_i| (worst case advance output).
+  void init(vgpu::Device& device, vgpu::AllocationScheme scheme,
+            SizeT num_vertices, SizeT num_edges) {
+    device_ = &device;
+    scheme_ = scheme;
+    num_vertices_ = num_vertices;
+    num_edges_ = num_edges;
+    for (int b = 0; b < 2; ++b) {
+      queues_[b].set_name("frontier.q" + std::to_string(b));
+      queues_[b].set_allocator(&device.memory());
+      queues_[b].allocate(initial_queue_capacity());
+      queues_[b].set_size(0);
+    }
+    input_size_ = 0;
+    output_size_ = 0;
+  }
+
+  vgpu::AllocationScheme scheme() const noexcept { return scheme_; }
+
+  std::span<const VertexT> input() const {
+    return {queues_[current_].data(), static_cast<std::size_t>(input_size_)};
+  }
+  SizeT input_size() const noexcept { return input_size_; }
+  SizeT output_size() const noexcept { return output_size_; }
+
+  /// Reset both queues to empty (new traversal).
+  void clear() {
+    input_size_ = 0;
+    output_size_ = 0;
+  }
+
+  /// Seed the input frontier (Problem::reset places the source here).
+  void set_input(std::span<const VertexT> vertices) {
+    auto& q = queues_[current_];
+    q.ensure_size(std::max<std::size_t>(vertices.size(), q.capacity()));
+    for (std::size_t i = 0; i < vertices.size(); ++i) q[i] = vertices[i];
+    input_size_ = static_cast<SizeT>(vertices.size());
+  }
+
+  /// Append one vertex to the *input* queue (used by ExpandIncoming
+  /// when received vertices join the next iteration's work).
+  void append_input(VertexT v) {
+    auto& q = queues_[current_];
+    if (input_size_ >= q.capacity()) {
+      // Chunked just-enough growth; reallocation is counted and rare.
+      q.ensure_size(static_cast<std::size_t>(input_size_) +
+                        std::max<std::size_t>(256, input_size_ / 4),
+                    /*keep_contents=*/true);
+    }
+    q.set_size(std::max<std::size_t>(q.size(), input_size_ + 1));
+    q[input_size_++] = v;
+  }
+
+  /// Make the output queue able to hold `required` entries, following
+  /// the allocation scheme, and return the raw buffer. `required` is
+  /// the operator's computed upper bound (exact degree sum for
+  /// advance, |input| for filter).
+  VertexT* request_output(SizeT required) {
+    auto& q = queues_[1 - current_];
+    const std::size_t need = static_cast<std::size_t>(required);
+    if (need > q.capacity()) {
+      // All schemes fall back to just-enough growth to stay legal; for
+      // kMax the initial |E_i| capacity makes this unreachable.
+      q.ensure_size(need);
+    }
+    q.set_size(std::max<std::size_t>(q.size(), need));
+    return q.data();
+  }
+
+  /// Record how many entries the operator actually produced.
+  void commit_output(SizeT produced) { output_size_ = produced; }
+
+  /// Output becomes the next iteration's input.
+  void swap() {
+    current_ = 1 - current_;
+    input_size_ = output_size_;
+    output_size_ = 0;
+  }
+
+  /// Direct access to the output entries (for the framework's split
+  /// step, which runs after the operator commits).
+  std::span<const VertexT> output() const {
+    return {queues_[1 - current_].data(),
+            static_cast<std::size_t>(output_size_)};
+  }
+
+  std::size_t realloc_count() const {
+    return queues_[0].realloc_count() + queues_[1].realloc_count();
+  }
+
+ private:
+  std::size_t initial_queue_capacity() const {
+    switch (scheme_) {
+      case vgpu::AllocationScheme::kJustEnough:
+        // Modest estimate; grows on demand.
+        return std::max<std::size_t>(256, num_vertices_ / 16);
+      case vgpu::AllocationScheme::kFixedPrealloc:
+      case vgpu::AllocationScheme::kPreallocFusion:
+        // Sizing factor calibrated "from previous runs": 1.25 |V_i|.
+        return static_cast<std::size_t>(num_vertices_) * 5 / 4 + 16;
+      case vgpu::AllocationScheme::kMax:
+        // Worst case: an advance can emit |E_i| entries.
+        return std::max<std::size_t>(num_edges_, num_vertices_) + 16;
+    }
+    return 256;
+  }
+
+  vgpu::Device* device_ = nullptr;
+  vgpu::AllocationScheme scheme_ = vgpu::AllocationScheme::kPreallocFusion;
+  SizeT num_vertices_ = 0;
+  SizeT num_edges_ = 0;
+  util::Array1D<VertexT> queues_[2];
+  int current_ = 0;
+  SizeT input_size_ = 0;
+  SizeT output_size_ = 0;
+};
+
+}  // namespace mgg::core

@@ -1,0 +1,94 @@
+#include "core/load_balance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mgg::core {
+
+std::string to_string(LoadBalance lb) {
+  switch (lb) {
+    case LoadBalance::kThreadPerVertex: return "thread-per-vertex";
+    case LoadBalance::kEdgeBalanced: return "edge-balanced";
+  }
+  return "unknown";
+}
+
+std::vector<SizeT> degree_scan(const graph::Graph& g,
+                               std::span<const VertexT> frontier) {
+  std::vector<SizeT> scan(frontier.size() + 1);
+  scan[0] = 0;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    scan[i + 1] = scan[i] + g.degree(frontier[i]);
+  }
+  return scan;
+}
+
+std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
+                                      int num_workers, LoadBalance policy) {
+  MGG_REQUIRE(!scan.empty(), "degree scan must have at least one entry");
+  MGG_REQUIRE(num_workers >= 1, "need at least one worker");
+  const std::size_t slots = scan.size() - 1;
+  const SizeT total = scan.back();
+  std::vector<WorkChunk> chunks(num_workers);
+
+  if (policy == LoadBalance::kThreadPerVertex) {
+    // Even split of frontier slots; edge counts fall where they fall.
+    const std::size_t per_worker =
+        (slots + num_workers - 1) / std::max<std::size_t>(num_workers, 1);
+    for (int w = 0; w < num_workers; ++w) {
+      const std::size_t first = std::min(slots, w * per_worker);
+      const std::size_t last = std::min(slots, first + per_worker);
+      chunks[w].first_slot = static_cast<std::uint32_t>(first);
+      chunks[w].last_slot = static_cast<std::uint32_t>(last);
+      chunks[w].first_edge_offset = 0;
+      chunks[w].total_edges = scan[last] - scan[first];
+    }
+    return chunks;
+  }
+
+  // Edge-balanced (merge-path): worker w starts at global edge
+  // position w * ceil(total/num_workers); binary search the scan for
+  // the frontier slot containing that edge.
+  const SizeT per_worker =
+      (total + static_cast<SizeT>(num_workers) - 1) /
+      static_cast<SizeT>(std::max(num_workers, 1));
+  for (int w = 0; w < num_workers; ++w) {
+    const SizeT begin_edge =
+        std::min<SizeT>(total, static_cast<SizeT>(w) * per_worker);
+    const SizeT end_edge = std::min<SizeT>(total, begin_edge + per_worker);
+    // upper_bound - 1: the slot whose [scan[i], scan[i+1]) contains
+    // begin_edge. For begin_edge == total this lands on the last slot.
+    const auto it =
+        std::upper_bound(scan.begin(), scan.end(), begin_edge);
+    const std::size_t slot =
+        static_cast<std::size_t>(it - scan.begin()) - 1;
+    const auto it_end = std::upper_bound(scan.begin(), scan.end(),
+                                         end_edge == 0 ? 0 : end_edge - 1);
+    const std::size_t end_slot =
+        end_edge == begin_edge
+            ? slot
+            : static_cast<std::size_t>(it_end - scan.begin());
+    chunks[w].first_slot = static_cast<std::uint32_t>(slot);
+    chunks[w].last_slot = static_cast<std::uint32_t>(end_slot);
+    chunks[w].first_edge_offset = begin_edge - scan[slot];
+    chunks[w].total_edges = end_edge - begin_edge;
+  }
+  return chunks;
+}
+
+double chunk_imbalance(const std::vector<WorkChunk>& chunks) {
+  MGG_REQUIRE(!chunks.empty(), "no chunks");
+  std::uint64_t total = 0;
+  std::uint64_t worst = 0;
+  for (const auto& chunk : chunks) {
+    total += chunk.total_edges;
+    worst = std::max<std::uint64_t>(worst, chunk.total_edges);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(chunks.size());
+  return static_cast<double>(worst) / mean;
+}
+
+}  // namespace mgg::core

@@ -1,0 +1,60 @@
+// Load-balancing policies for the advance operator.
+//
+// Gunrock's advance is famous for its load-balanced traversal: a naive
+// thread-per-vertex mapping leaves one thread walking a 10^6-degree
+// hub while its warp-mates idle, so Gunrock partitions the *edge*
+// range evenly across workers with a binary search over the degree
+// scan (merge-path style). The paper leans on this machinery twice:
+// §VI-B reuses "Gunrock's load-balancing computations" to get exact
+// advance output sizes for just-enough allocation, and §II-A credits
+// load imbalance for Merrill's multi-GPU slowdowns.
+//
+// Both policies are implemented here as real algorithms and drive the
+// cost model: the modeled kernel time of a thread-per-vertex advance
+// is bounded by its most loaded worker (max chunk), while the
+// edge-balanced policy approaches work/worker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace mgg::core {
+
+enum class LoadBalance {
+  kThreadPerVertex,  ///< worker w handles frontier slots [w*k, w*k+k)
+  kEdgeBalanced,     ///< workers get equal edge ranges via binary search
+};
+
+std::string to_string(LoadBalance lb);
+
+/// The degree prefix scan over a frontier: scan[i] = edges of
+/// frontier[0..i). scan.back() is the exact advance output bound used
+/// by just-enough allocation (§VI-B).
+std::vector<SizeT> degree_scan(const graph::Graph& g,
+                               std::span<const VertexT> frontier);
+
+/// One worker's slice of the frontier's edge work.
+struct WorkChunk {
+  std::uint32_t first_slot = 0;   ///< first frontier index touched
+  std::uint32_t last_slot = 0;    ///< one past the last frontier index
+  SizeT first_edge_offset = 0;    ///< edge offset within first_slot
+  SizeT total_edges = 0;          ///< edges assigned to this worker
+};
+
+/// Partition `scan` (from degree_scan) into `num_workers` chunks under
+/// the given policy. Thread-per-vertex splits frontier *slots* evenly;
+/// edge-balanced binary-searches the scan so every chunk carries
+/// ceil(total/num_workers) edges regardless of degree skew.
+std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
+                                      int num_workers, LoadBalance policy);
+
+/// max(chunk edges) / mean(chunk edges): 1.0 is perfect balance. This
+/// is the factor by which the skewed policy's modeled kernel time
+/// exceeds the balanced one's on a power-law frontier.
+double chunk_imbalance(const std::vector<WorkChunk>& chunks);
+
+}  // namespace mgg::core

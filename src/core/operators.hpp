@@ -1,0 +1,218 @@
+// Gunrock-style frontier operators: advance, filter, compute, and the
+// fused advance+filter of §VI-C.
+//
+// An operator is a "kernel" on a virtual GPU: it does real work on the
+// local subgraph and reports its work items (edges / vertices /
+// launches) to the device's cost counters, which is how the BSP model
+// (§V) prices W.
+//
+// Two execution pipelines exist, selected by the allocation scheme:
+//
+//   fused (just-enough, prealloc+fusion): one kernel walks the input
+//     frontier's edges, applies the per-edge functor, deduplicates
+//     emissions with a bitmask, and writes the compacted output
+//     frontier directly — the intermediate O(|E|) frontier never
+//     exists (§VI-C: saves a launch, gains producer-consumer locality,
+//     and fits larger subgraphs per GPU).
+//
+//   split (fixed, max): the classic two-kernel pipeline — advance
+//     expands all neighbors into an intermediate buffer sized by the
+//     allocation scheme, then filter compacts it. This is what Fig. 3
+//     measures against.
+//
+// advance_pull is the per-vertex advance mode added for
+// direction-optimizing traversal (§VI-A): it parallelizes across
+// vertices so a vertex can stop scanning edges as soon as it finds a
+// valid parent ("edge skipping").
+#pragma once
+
+#include <span>
+
+#include "core/frontier.hpp"
+#include "core/load_balance.hpp"
+#include "graph/csr.hpp"
+#include "util/array1d.hpp"
+#include "util/bitset.hpp"
+#include "vgpu/device.hpp"
+
+namespace mgg::core {
+
+/// Everything an operator needs about its execution site. Owned by the
+/// enactor's per-GPU slice; primitives receive it in iteration_core.
+struct OpContext {
+  vgpu::Device* device = nullptr;
+  const graph::Graph* g = nullptr;  ///< the GPU's local CSR
+  Frontier* frontier = nullptr;
+  util::Array1D<VertexT>* advance_temp = nullptr;   ///< split pipeline only
+  util::Array1D<SizeT>* advance_temp_edges = nullptr;
+  util::AtomicBitset* dedup = nullptr;  ///< |V_i|-sized emission mask
+  vgpu::AllocationScheme scheme = vgpu::AllocationScheme::kPreallocFusion;
+  /// Advance load-balancing policy (see core/load_balance.hpp). The
+  /// default is Gunrock's edge-balanced mapping; thread-per-vertex is
+  /// available for studying the imbalance penalty on skewed frontiers.
+  LoadBalance load_balance = LoadBalance::kEdgeBalanced;
+  /// Modeled parallel width of one kernel (workers the policy divides
+  /// work across).
+  int lb_workers = 256;
+
+  bool fused() const {
+    return scheme == vgpu::AllocationScheme::kJustEnough ||
+           scheme == vgpu::AllocationScheme::kPreallocFusion;
+  }
+};
+
+namespace detail {
+
+/// Sum of out-degrees over the input frontier: the exact advance output
+/// bound. This is Gunrock's load-balancing scan, reused by just-enough
+/// allocation to size buffers (§VI-B).
+inline SizeT degree_sum(const graph::Graph& g, std::span<const VertexT> in) {
+  SizeT total = 0;
+  for (const VertexT v : in) total += g.degree(v);
+  return total;
+}
+
+/// Imbalance factor of this advance under the context's policy: 1.0
+/// for the edge-balanced mapping; max/mean worker load otherwise.
+inline double advance_imbalance(const OpContext& ctx,
+                                std::span<const VertexT> input) {
+  if (ctx.load_balance == LoadBalance::kEdgeBalanced || input.empty()) {
+    return 1.0;
+  }
+  const auto scan = degree_scan(*ctx.g, input);
+  const auto chunks =
+      partition_work(scan, ctx.lb_workers, ctx.load_balance);
+  return chunk_imbalance(chunks);
+}
+
+}  // namespace detail
+
+/// Advance + filter: expand every edge of the input frontier, apply
+/// `op(src, dst, edge) -> bool` ("should dst join the output
+/// frontier?"), and write the deduplicated output frontier. Returns the
+/// output size (also committed to the frontier).
+///
+/// The functor runs exactly once per (frontier vertex, edge); mutations
+/// it performs (label updates, distance relaxations) are the
+/// computation step fused into the traversal.
+template <typename EdgeOp>
+SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  const auto input = frontier.input();
+  const SizeT work = detail::degree_sum(g, input);
+
+  if (ctx.fused()) {
+    const SizeT bound =
+        std::min<SizeT>(work, g.num_vertices);  // dedup caps emissions
+    VertexT* out = frontier.request_output(bound);
+    SizeT produced = 0;
+    for (const VertexT src : input) {
+      const auto [begin, end] = g.edge_range(src);
+      for (SizeT e = begin; e < end; ++e) {
+        const VertexT dst = g.col_indices[e];
+        if (op(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+          out[produced++] = dst;
+        }
+      }
+    }
+    // Reset only the bits we set, so clearing costs O(output).
+    for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+    frontier.commit_output(produced);
+    // One fused kernel: edge work plus the sizing scan over vertices.
+    ctx.device->add_kernel_cost(work, input.size(), 1,
+                                detail::advance_imbalance(ctx, input));
+    return produced;
+  }
+
+  // Split pipeline: advance materializes every (src, edge) candidate
+  // into the intermediate buffer...
+  util::Array1D<VertexT>& temp = *ctx.advance_temp;
+  util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
+  temp.ensure_size(work);
+  temp_edges.ensure_size(work);
+  SizeT n_raw = 0;
+  for (const VertexT src : input) {
+    const auto [begin, end] = g.edge_range(src);
+    for (SizeT e = begin; e < end; ++e) {
+      temp[n_raw] = src;
+      temp_edges[n_raw] = e;
+      ++n_raw;
+    }
+  }
+  ctx.device->add_kernel_cost(work, input.size(), 1,
+                              detail::advance_imbalance(ctx, input));
+
+  // ...then filter applies the functor and compacts survivors.
+  const SizeT bound = std::min<SizeT>(n_raw, g.num_vertices);
+  VertexT* out = frontier.request_output(bound);
+  SizeT produced = 0;
+  for (SizeT i = 0; i < n_raw; ++i) {
+    const VertexT src = temp[i];
+    const SizeT e = temp_edges[i];
+    const VertexT dst = g.col_indices[e];
+    if (op(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+      out[produced++] = dst;
+    }
+  }
+  for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(0, n_raw, 1);
+  return produced;
+}
+
+/// Per-vertex pull advance (§VI-A). For each candidate vertex, scan its
+/// neighbor list and stop at the first neighbor for which
+/// `try_parent(candidate, parent, edge)` returns true; emit the
+/// candidate. Edge skipping makes the charged edge work the number of
+/// edges actually scanned, not the full degree sum.
+template <typename ParentOp>
+SizeT advance_pull(OpContext& ctx, std::span<const VertexT> candidates,
+                   ParentOp&& try_parent) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  VertexT* out =
+      frontier.request_output(static_cast<SizeT>(candidates.size()));
+  SizeT produced = 0;
+  std::uint64_t scanned = 0;
+  for (const VertexT v : candidates) {
+    const auto [begin, end] = g.edge_range(v);
+    for (SizeT e = begin; e < end; ++e) {
+      ++scanned;
+      if (try_parent(v, g.col_indices[e], e)) {
+        out[produced++] = v;
+        break;  // edge skipping: a valid parent ends the scan
+      }
+    }
+  }
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(scanned, candidates.size(), 1);
+  return produced;
+}
+
+/// Filter: keep input-frontier vertices satisfying `pred(v)`; the
+/// output is the compacted survivor list.
+template <typename Pred>
+SizeT filter(OpContext& ctx, Pred&& pred) {
+  Frontier& frontier = *ctx.frontier;
+  const auto input = frontier.input();
+  VertexT* out = frontier.request_output(static_cast<SizeT>(input.size()));
+  SizeT produced = 0;
+  for (const VertexT v : input) {
+    if (pred(v)) out[produced++] = v;
+  }
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(0, input.size(), 1);
+  return produced;
+}
+
+/// Compute: apply `op(v)` to every vertex of `vertices` (a frontier or
+/// any vertex list). No frontier output.
+template <typename VertexOp>
+void compute(OpContext& ctx, std::span<const VertexT> vertices,
+             VertexOp&& op) {
+  for (const VertexT v : vertices) op(v);
+  ctx.device->add_kernel_cost(0, vertices.size(), 1);
+}
+
+}  // namespace mgg::core

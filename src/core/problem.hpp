@@ -1,0 +1,77 @@
+// ProblemBase: owns the distributed graph and per-GPU data (§III-B).
+//
+// Init() mirrors the paper's BaseProblem::Init: partition the graph,
+// build the partition/conversion tables, distribute sub-graphs to the
+// virtual GPUs (charging each device's memory for its slice), and let
+// the primitive allocate its per-GPU DataSlice. Reset() prepares a new
+// run (e.g. a new BFS source).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/load_balance.hpp"
+#include "graph/csr.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "partition/partitioner.hpp"
+#include "vgpu/machine.hpp"
+#include "vgpu/memory.hpp"
+
+namespace mgg::core {
+
+/// Per-run configuration shared by Problem and Enactor.
+struct Config {
+  int num_gpus = 1;
+  std::string partitioner = "random";
+  part::Duplication duplication = part::Duplication::kAll;
+  CommStrategy comm = CommStrategy::kSelective;
+  vgpu::AllocationScheme scheme = vgpu::AllocationScheme::kPreallocFusion;
+  LoadBalance load_balance = LoadBalance::kEdgeBalanced;
+  std::uint64_t seed = 1;
+  std::uint64_t max_iterations = 1u << 20;
+  bool mark_predecessors = false;
+};
+
+class ProblemBase {
+ public:
+  virtual ~ProblemBase();
+
+  ProblemBase() = default;
+  ProblemBase(const ProblemBase&) = delete;
+  ProblemBase& operator=(const ProblemBase&) = delete;
+
+  /// Partition `g` and distribute it across the machine's first
+  /// `config.num_gpus` devices. Must be called exactly once.
+  void init(const graph::Graph& g, vgpu::Machine& machine,
+            const Config& config);
+
+  const Config& config() const noexcept { return config_; }
+  int num_gpus() const noexcept { return config_.num_gpus; }
+  vgpu::Machine& machine() const { return *machine_; }
+  const part::PartitionedGraph& partitioned() const { return *partitioned_; }
+  const part::SubGraph& sub(int gpu) const { return partitioned_->sub(gpu); }
+  vgpu::Device& device(int gpu) const { return machine_->device(gpu); }
+
+  /// Host GPU and host-local ID of a global vertex (used by Reset to
+  /// place the source, as in the paper's BFSProblem::Reset).
+  std::pair<int, VertexT> locate(VertexT global_v) const {
+    return {partitioned_->owner_of(global_v),
+            partitioned_->host_local_of(global_v)};
+  }
+
+ protected:
+  /// Primitive hook: allocate the per-GPU DataSlice for `gpu`.
+  virtual void init_data_slice(int gpu) = 0;
+
+ private:
+  Config config_;
+  vgpu::Machine* machine_ = nullptr;
+  std::unique_ptr<part::PartitionedGraph> partitioned_;
+  /// Bytes charged to each device for its subgraph CSR (released in
+  /// the destructor).
+  std::vector<std::size_t> graph_charges_;
+  bool initialized_ = false;
+};
+
+}  // namespace mgg::core

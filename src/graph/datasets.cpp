@@ -1,0 +1,166 @@
+#include "graph/datasets.hpp"
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace mgg::graph {
+
+namespace {
+
+using Kind = DatasetSpec::Kind;
+
+std::vector<DatasetSpec> make_registry() {
+  std::vector<DatasetSpec> r;
+  auto add = [&r](std::string name, std::string family, double pv, double pe,
+                  double pd, bool undirected, Kind kind, long long p0,
+                  long long p1, long long p2 = 0) {
+    r.push_back({std::move(name), std::move(family), pv, pe, pd, undirected,
+                 kind, p0, p1, p2});
+  };
+
+  // --- Table II: soc group (online social networks). ---
+  add("soc-LiveJournal1", "soc", 4.85e6, 85.7e6, 13, true, Kind::kSocial,
+      9500, 9);
+  add("hollywood-2009", "soc", 1.14e6, 113e6, 8, true, Kind::kSocial, 2200,
+      50);
+  add("soc-orkut", "soc", 3.00e6, 213e6, 7, true, Kind::kSocial, 6000, 36);
+  add("soc-sinaweibo", "soc", 58.7e6, 523e6, 5, true, Kind::kSocial, 115000,
+      5);
+  add("soc-twitter-2010", "soc", 21.3e6, 530e6, 15, true, Kind::kSocial,
+      42000, 12);
+
+  // --- Table II: web group (crawls). ---
+  add("indochina-2004", "web", 7.41e6, 302e6, 24, true, Kind::kWeb, 226, 64,
+      20);
+  add("uk-2002", "web", 18.5e6, 524e6, 25, true, Kind::kWeb, 566, 64, 14);
+  add("arabic-2005", "web", 22.7e6, 1.11e9, 28, true, Kind::kWeb, 693, 64,
+      24);
+  add("uk-2005", "web", 39.5e6, 1.57e9, 23, true, Kind::kWeb, 1205, 64, 20);
+  add("webbase-2001", "web", 118e6, 1.71e9, 379, true, Kind::kWeb, 1800, 128,
+      7);
+
+  // --- Table II: rmat group (GTgraph parameters, scale reduced by 9). ---
+  add("rmat_n20_512", "rmat", 1.05e6, 728e6, 6.26, true, Kind::kRmat, 11,
+      512);
+  add("rmat_n21_256", "rmat", 2.10e6, 839e6, 7.22, true, Kind::kRmat, 12,
+      256);
+  add("rmat_n22_128", "rmat", 4.19e6, 925e6, 7.56, true, Kind::kRmat, 13,
+      128);
+  add("rmat_n23_64", "rmat", 8.39e6, 985e6, 8.32, true, Kind::kRmat, 14, 64);
+  add("rmat_n24_32", "rmat", 16.8e6, 1.02e9, 8.61, true, Kind::kRmat, 15, 32);
+  add("rmat_n25_16", "rmat", 33.6e6, 1.05e9, 9.06, true, Kind::kRmat, 16, 16);
+
+  // --- Table III comparison graphs (kron = rmat per Graph500 usage). ---
+  add("kron_n24_32", "kron", 16.8e6, 1.07e9, 0, true, Kind::kRmat, 15, 32);
+  add("kron_n23_16", "kron", 8e6, 256e6, 0, true, Kind::kRmat, 14, 16);
+  add("kron_n25_16", "kron", 32e6, 1.07e9, 0, true, Kind::kRmat, 16, 16);
+  add("kron_n25_32", "kron", 32e6, 1.07e9, 0, false, Kind::kRmat, 16, 32);
+  add("kron_n23_32", "kron", 8e6, 256e6, 0, false, Kind::kRmat, 14, 32);
+  add("rmat_2Mv_128Me", "kron", 2e6, 128e6, 0, false, Kind::kRmatMerrill, 12,
+      64);
+  add("coPapersCiteseer", "soc-extra", 0.43e6, 32.1e6, 0, true, Kind::kSocial,
+      840, 38);
+  add("com-orkut", "soc-extra", 3e6, 117e6, 0, true, Kind::kSocial, 6000, 20);
+  add("com-Friendster", "soc-extra", 66e6, 1.81e9, 0, true, Kind::kSocial,
+      129000, 14);
+  add("twitter-mpi", "soc-extra", 52.6e6, 1.96e9, 0, false, Kind::kSocial,
+      102000, 19);
+
+  // --- Table IV comparison graphs. ---
+  add("twitter-rv", "soc-extra", 42e6, 1.5e9, 0, false, Kind::kSocial, 82000,
+      18);
+
+  // --- Table V large graphs. ---
+  add("friendster", "soc-extra", 125e6, 3.62e9, 0, true, Kind::kSocial,
+      244000, 8);
+  add("sk-2005", "web-extra", 50.6e6, 1.9e9, 0, false, Kind::kWeb, 790, 128,
+      19);
+
+  // --- Road network (§VII-C Daga comparison; example app). ---
+  add("road-grid", "road", 1.07e6, 2.71e6, 2000, true, Kind::kRoad, 512, 512);
+
+  return r;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_registry() {
+  static const std::vector<DatasetSpec> registry = make_registry();
+  return registry;
+}
+
+const DatasetSpec& find_dataset(const std::string& name) {
+  for (const auto& spec : dataset_registry()) {
+    if (spec.name == name) return spec;
+  }
+  throw Error(Status::kNotFound, "unknown dataset '" + name + "'");
+}
+
+Dataset build_dataset(const std::string& name, std::uint64_t seed) {
+  const DatasetSpec& spec = find_dataset(name);
+  // Each dataset gets its own seed stream so regenerating one dataset
+  // never perturbs another.
+  const std::uint64_t ds_seed =
+      util::splitmix64(seed ^ std::hash<std::string>{}(name));
+
+  GraphCoo coo;
+  switch (spec.kind) {
+    case Kind::kRmat:
+      coo = make_rmat(static_cast<int>(spec.p0),
+                      static_cast<double>(spec.p1), RmatParams::gtgraph(),
+                      ds_seed);
+      break;
+    case Kind::kRmatMerrill:
+      coo = make_rmat(static_cast<int>(spec.p0),
+                      static_cast<double>(spec.p1), RmatParams::merrill(),
+                      ds_seed);
+      break;
+    case Kind::kSocial:
+      coo = make_social(static_cast<VertexT>(spec.p0),
+                        static_cast<int>(spec.p1), ds_seed);
+      break;
+    case Kind::kWeb:
+      coo = make_web(static_cast<VertexT>(spec.p0),
+                     static_cast<VertexT>(spec.p1),
+                     static_cast<int>(spec.p2), 0.15, ds_seed);
+      break;
+    case Kind::kRoad:
+      coo = make_road_grid(static_cast<VertexT>(spec.p0),
+                           static_cast<VertexT>(spec.p1), 0.05, ds_seed);
+      break;
+    case Kind::kUniform:
+      coo = make_uniform_random(
+          static_cast<VertexT>(spec.p0),
+          static_cast<SizeT>(spec.p0 * spec.p1), ds_seed);
+      break;
+  }
+  assign_random_weights(coo, 0, 64, ds_seed ^ 0xA5A5ULL);
+
+  Dataset ds;
+  ds.spec = spec;
+  ds.graph = spec.undirected ? build_undirected(std::move(coo))
+                             : build_directed(std::move(coo));
+  return ds;
+}
+
+std::vector<std::string> datasets_in_family(const std::string& family) {
+  std::vector<std::string> names;
+  for (const auto& spec : dataset_registry()) {
+    if (family.empty() || spec.family == family) names.push_back(spec.name);
+  }
+  return names;
+}
+
+std::vector<std::string> table2_suite() {
+  std::vector<std::string> names;
+  for (const auto& spec : dataset_registry()) {
+    if (spec.family == "soc" || spec.family == "web" ||
+        spec.family == "rmat") {
+      names.push_back(spec.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace mgg::graph

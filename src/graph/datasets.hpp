@@ -1,0 +1,66 @@
+// Dataset registry: scaled synthetic analogs of the paper's datasets.
+//
+// Table II of the paper lists three families (soc / web / rmat); the
+// comparison tables (III-V) add kron graphs, friendster, sk-2005, and
+// twitter variants. Real datasets cannot ship with this repository, so
+// each entry maps a paper dataset to a generator configuration that
+// preserves the family's structure (degree distribution, |E|/|V|,
+// diameter regime) at roughly 1/512 the paper's vertex count, sized so
+// the whole bench suite runs on one CPU core. Every entry records the
+// paper's |V|, |E|, D for side-by-side reporting (bench/table2_datasets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgg::graph {
+
+struct DatasetSpec {
+  std::string name;    ///< paper's dataset name
+  std::string family;  ///< "soc", "web", "rmat", "kron", "road"
+  double paper_vertices = 0;  ///< |V| reported in the paper
+  double paper_edges = 0;     ///< |E| reported in the paper
+  double paper_diameter = 0;  ///< D reported (0 = not reported)
+  bool undirected = true;     ///< paper evaluates this graph undirected
+
+  /// Generator recipe for the analog.
+  enum class Kind { kRmat, kRmatMerrill, kSocial, kWeb, kRoad, kUniform };
+  Kind kind = Kind::kRmat;
+  // Interpretation depends on kind:
+  //   kRmat / kRmatMerrill: p0 = scale, p1 = edge factor
+  //   kSocial:              p0 = num vertices, p1 = edges per vertex
+  //   kWeb:                 p0 = hosts, p1 = pages/host, p2 = links/page
+  //   kRoad:                p0 = width, p1 = height
+  //   kUniform:             p0 = num vertices, p1 = edge factor
+  long long p0 = 0;
+  long long p1 = 0;
+  long long p2 = 0;
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  Graph graph;  ///< cleaned per the paper: self-loop/dup free; weighted
+};
+
+/// All registered datasets (stable order).
+const std::vector<DatasetSpec>& dataset_registry();
+
+/// Look up a spec by paper name; throws kNotFound for unknown names.
+const DatasetSpec& find_dataset(const std::string& name);
+
+/// Generate the analog graph for `name`. Deterministic in (name, seed).
+/// Edge weights in [0, 64] are always attached (the paper's SSSP setup).
+Dataset build_dataset(const std::string& name, std::uint64_t seed = 1);
+
+/// Names of the datasets in a family ("soc"/"web"/"rmat"/...), or all
+/// datasets when family is empty.
+std::vector<std::string> datasets_in_family(const std::string& family = {});
+
+/// The 9-dataset suite used for the paper's headline speedup numbers
+/// (Fig. 4 / Fig. 6): the soc + web + rmat families of Table II.
+std::vector<std::string> table2_suite();
+
+}  // namespace mgg::graph

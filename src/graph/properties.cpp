@@ -1,0 +1,95 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace mgg::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.num_vertices == 0) return stats;
+  stats.min_degree = g.degree(0);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    const SizeT d = g.degree(v);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_vertices;
+  }
+  stats.average_degree = g.average_degree();
+  return stats;
+}
+
+SizeT bfs_eccentricity(const Graph& g, VertexT source) {
+  std::vector<SizeT> dist(g.num_vertices, invalid_vertex_v<SizeT>);
+  std::vector<VertexT> frontier{source};
+  dist[source] = 0;
+  SizeT level = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexT> next;
+    for (const VertexT u : frontier) {
+      for (const VertexT v : g.neighbors(u)) {
+        if (dist[v] == invalid_vertex_v<SizeT>) {
+          dist[v] = level + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (!frontier.empty()) ++level;
+  }
+  return level;
+}
+
+double estimate_diameter(const Graph& g, int samples, std::uint64_t seed) {
+  if (g.num_vertices == 0) return 0.0;
+  util::Rng rng(seed);
+  SizeT best = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto src = static_cast<VertexT>(rng.next_below(g.num_vertices));
+    if (g.degree(src) == 0) continue;
+    best = std::max(best, bfs_eccentricity(g, src));
+  }
+  return static_cast<double>(best);
+}
+
+namespace {
+VertexT find_root(std::vector<VertexT>& parent, VertexT v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];  // path halving
+    v = parent[v];
+  }
+  return v;
+}
+}  // namespace
+
+VertexT count_components(const Graph& g) {
+  std::vector<VertexT> parent(g.num_vertices);
+  std::iota(parent.begin(), parent.end(), VertexT{0});
+  for (VertexT u = 0; u < g.num_vertices; ++u) {
+    for (const VertexT v : g.neighbors(u)) {
+      const VertexT ru = find_root(parent, u);
+      const VertexT rv = find_root(parent, v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  VertexT components = 0;
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (find_root(parent, v) == v) ++components;
+  }
+  return components;
+}
+
+bool is_symmetric(const Graph& g) {
+  for (VertexT u = 0; u < g.num_vertices; ++u) {
+    for (const VertexT v : g.neighbors(u)) {
+      const auto nv = g.neighbors(v);
+      if (!std::binary_search(nv.begin(), nv.end(), u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mgg::graph

@@ -1,0 +1,35 @@
+// Graph property measurements used in Table II and by the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace mgg::graph {
+
+struct DegreeStats {
+  SizeT min_degree = 0;
+  SizeT max_degree = 0;
+  double average_degree = 0.0;
+  VertexT isolated_vertices = 0;  ///< degree-0 vertices
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Approximate diameter: the maximum BFS eccentricity over `samples`
+/// random source vertices (the paper marks rmat diameters the same way:
+/// "approximated diameter computed by multiple run of random-sourced
+/// BFS"). Unreachable vertices are ignored.
+double estimate_diameter(const Graph& g, int samples = 8,
+                         std::uint64_t seed = 1);
+
+/// Exact single-source BFS eccentricity (longest finite distance).
+SizeT bfs_eccentricity(const Graph& g, VertexT source);
+
+/// Number of connected components (union-find over undirected edges).
+VertexT count_components(const Graph& g);
+
+/// True when every (u,v) edge has a matching (v,u) edge.
+bool is_symmetric(const Graph& g);
+
+}  // namespace mgg::graph

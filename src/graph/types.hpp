@@ -1,0 +1,27 @@
+// Fundamental graph types.
+//
+// Following the paper's default configuration, the framework uses
+// 32-bit vertex and edge IDs (Table V studies 64-bit IDs; the graph
+// containers are templated so 64-bit graphs are first-class, and the
+// cost model exposes an ID-width knob that reproduces the bandwidth
+// effect on modeled performance).
+#pragma once
+
+#include <cstdint>
+
+namespace mgg {
+
+/// Default vertex identifier type (paper default: 32-bit).
+using VertexT = std::uint32_t;
+/// Default edge-count / offset type.
+using SizeT = std::uint32_t;
+/// Default per-edge / per-vertex value type (SSSP weights, PR ranks).
+using ValueT = float;
+
+/// Sentinel for "no vertex" (unvisited labels, absent predecessors).
+template <typename V>
+inline constexpr V invalid_vertex_v = static_cast<V>(~static_cast<V>(0));
+
+inline constexpr VertexT kInvalidVertex = invalid_vertex_v<VertexT>;
+
+}  // namespace mgg

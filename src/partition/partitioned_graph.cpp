@@ -1,0 +1,182 @@
+#include "partition/partitioned_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mgg::part {
+
+using graph::Graph;
+
+std::string to_string(Duplication d) {
+  switch (d) {
+    case Duplication::kOneHop: return "duplicate-1-hop";
+    case Duplication::kAll: return "duplicate-all";
+  }
+  return "unknown";
+}
+
+std::size_t PartitionedGraph::border_total(int i) const {
+  return std::accumulate(border_counts_[i].begin(), border_counts_[i].end(),
+                         std::size_t{0});
+}
+
+PartitionedGraph PartitionedGraph::build(const Graph& g,
+                                         std::vector<int> assignment,
+                                         int num_parts,
+                                         Duplication duplication) {
+  MGG_REQUIRE(num_parts >= 1, "num_parts must be positive");
+  MGG_REQUIRE(assignment.size() == g.num_vertices,
+              "assignment size mismatches graph");
+  for (const int a : assignment) {
+    MGG_REQUIRE(a >= 0 && a < num_parts, "assignment value out of range");
+  }
+
+  PartitionedGraph pg;
+  pg.duplication_ = duplication;
+  pg.global_vertices_ = g.num_vertices;
+  pg.global_edges_ = g.num_edges;
+  pg.assignment_ = std::move(assignment);
+  pg.subs_.resize(num_parts);
+  pg.border_counts_.assign(num_parts, std::vector<std::size_t>(num_parts, 0));
+
+  // convertion_table: rank of each vertex within its host's hosted list
+  // (hosted vertices keep ascending global order locally).
+  pg.global_to_host_local_.assign(g.num_vertices, kInvalidVertex);
+  std::vector<VertexT> hosted_count(num_parts, 0);
+  if (duplication == Duplication::kOneHop) {
+    for (VertexT v = 0; v < g.num_vertices; ++v) {
+      pg.global_to_host_local_[v] = hosted_count[pg.assignment_[v]]++;
+    }
+  } else {
+    // duplicate-all: local ID == global ID everywhere, no conversion.
+    for (VertexT v = 0; v < g.num_vertices; ++v) {
+      pg.global_to_host_local_[v] = v;
+      ++hosted_count[pg.assignment_[v]];
+    }
+  }
+
+  // Scratch global->local map reused across parts.
+  std::vector<VertexT> to_local(g.num_vertices, kInvalidVertex);
+
+  for (int p = 0; p < num_parts; ++p) {
+    SubGraph& sub = pg.subs_[p];
+    sub.gpu_id = p;
+    sub.num_local = hosted_count[p];
+
+    if (duplication == Duplication::kAll) {
+      // V_i = V: identity numbering; only the edge lists shrink.
+      const VertexT n = g.num_vertices;
+      sub.local_to_global.resize(n);
+      std::iota(sub.local_to_global.begin(), sub.local_to_global.end(),
+                VertexT{0});
+      sub.owner = pg.assignment_;
+      sub.host_local_id = sub.local_to_global;
+
+      Graph& csr = sub.csr;
+      csr.num_vertices = n;
+      csr.row_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+      for (VertexT v = 0; v < n; ++v) {
+        csr.row_offsets[v + 1] =
+            csr.row_offsets[v] +
+            (pg.assignment_[v] == p ? g.degree(v) : SizeT{0});
+      }
+      csr.num_edges = csr.row_offsets[n];
+      csr.col_indices.resize(csr.num_edges);
+      if (g.has_values()) csr.edge_values.resize(csr.num_edges);
+      for (VertexT v = 0; v < n; ++v) {
+        if (pg.assignment_[v] != p) continue;
+        SizeT out = csr.row_offsets[v];
+        const auto [begin, end] = g.edge_range(v);
+        for (SizeT e = begin; e < end; ++e, ++out) {
+          csr.col_indices[out] = g.col_indices[e];
+          if (g.has_values()) csr.edge_values[out] = g.edge_values[e];
+        }
+      }
+    } else {
+      // duplicate-1-hop: hosted vertices first (ascending global id),
+      // then one proxy per distinct remote neighbor.
+      std::vector<VertexT> hosted;
+      hosted.reserve(sub.num_local);
+      for (VertexT v = 0; v < g.num_vertices; ++v) {
+        if (pg.assignment_[v] == p) hosted.push_back(v);
+      }
+      std::vector<VertexT> proxies;
+      for (const VertexT v : hosted) {
+        for (const VertexT u : g.neighbors(v)) {
+          if (pg.assignment_[u] != p) proxies.push_back(u);
+        }
+      }
+      std::sort(proxies.begin(), proxies.end());
+      proxies.erase(std::unique(proxies.begin(), proxies.end()),
+                    proxies.end());
+
+      const VertexT total =
+          static_cast<VertexT>(hosted.size() + proxies.size());
+      sub.local_to_global.reserve(total);
+      sub.local_to_global.insert(sub.local_to_global.end(), hosted.begin(),
+                                 hosted.end());
+      sub.local_to_global.insert(sub.local_to_global.end(), proxies.begin(),
+                                 proxies.end());
+      sub.owner.resize(total);
+      sub.host_local_id.resize(total);
+      for (VertexT lv = 0; lv < total; ++lv) {
+        const VertexT gv = sub.local_to_global[lv];
+        sub.owner[lv] = pg.assignment_[gv];
+        sub.host_local_id[lv] = pg.global_to_host_local_[gv];
+        to_local[gv] = lv;
+      }
+
+      Graph& csr = sub.csr;
+      csr.num_vertices = total;
+      csr.row_offsets.assign(static_cast<std::size_t>(total) + 1, 0);
+      for (VertexT lv = 0; lv < sub.num_local; ++lv) {
+        csr.row_offsets[lv + 1] =
+            csr.row_offsets[lv] + g.degree(sub.local_to_global[lv]);
+      }
+      for (VertexT lv = sub.num_local; lv < total; ++lv) {
+        csr.row_offsets[lv + 1] = csr.row_offsets[lv];  // proxies: 0 edges
+      }
+      csr.num_edges = csr.row_offsets[total];
+      csr.col_indices.resize(csr.num_edges);
+      if (g.has_values()) csr.edge_values.resize(csr.num_edges);
+      for (VertexT lv = 0; lv < sub.num_local; ++lv) {
+        const VertexT gv = sub.local_to_global[lv];
+        SizeT out = csr.row_offsets[lv];
+        const auto [begin, end] = g.edge_range(gv);
+        for (SizeT e = begin; e < end; ++e, ++out) {
+          csr.col_indices[out] = to_local[g.col_indices[e]];
+          if (g.has_values()) csr.edge_values[out] = g.edge_values[e];
+        }
+      }
+
+      // Reset the scratch map for the next part.
+      for (const VertexT gv : sub.local_to_global) {
+        to_local[gv] = kInvalidVertex;
+      }
+    }
+  }
+
+  // Border sizes B_{i,j}: distinct remote neighbors of L_i hosted by j.
+  {
+    std::vector<int> seen(g.num_vertices, -1);
+    for (int p = 0; p < num_parts; ++p) {
+      for (VertexT v = 0; v < g.num_vertices; ++v) {
+        if (pg.assignment_[v] != p) continue;
+        for (const VertexT u : g.neighbors(v)) {
+          const int q = pg.assignment_[u];
+          if (q != p && seen[u] != p) {
+            seen[u] = p;
+            ++pg.border_counts_[p][q];
+          }
+        }
+      }
+      std::fill(seen.begin(), seen.end(), -1);
+    }
+  }
+
+  return pg;
+}
+
+}  // namespace mgg::part

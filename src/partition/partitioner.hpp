@@ -1,0 +1,105 @@
+// Graph partitioners (§V-C).
+//
+// The paper's key observation: for this framework it is the size of the
+// *partition borders* (|B_i|, vertices on partition edges) that governs
+// communication cost, not the classical edge-cut metric — multiple cut
+// edges to the same remote vertex transmit one value. The partitioner
+// interface is deliberately modular ("we chose to make our partitioner
+// interface modular and allow users to specify any existing partitioner
+// or implement their own"); the framework runs correctly with any
+// assignment.
+//
+// Provided implementations, in increasing order of runtime (matching
+// Fig. 2's candidates):
+//   random  — uniform random vertex assignment; no locality, best
+//             load balance; the paper's default for all experiments
+//   biased  — random, but biased toward the GPU already holding more
+//             of the vertex's neighbors, under a load-balance cap
+//   metis   — a Metis-like minimum-edge-cut heuristic: BFS region
+//             growing plus boundary refinement passes
+//   chunk   — contiguous vertex ranges balanced by edge count
+//             (exploits the index locality of web crawls)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgg::part {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compute a vertex -> part assignment (values in [0, num_parts)).
+  /// Deterministic in (graph, num_parts, seed).
+  virtual std::vector<int> assign(const graph::Graph& g, int num_parts,
+                                  std::uint64_t seed) const = 0;
+};
+
+/// Uniform random assignment.
+class RandomPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "random"; }
+  std::vector<int> assign(const graph::Graph& g, int num_parts,
+                          std::uint64_t seed) const override;
+};
+
+/// Random with neighbor-affinity bias under a balance cap.
+class BiasedRandomPartitioner final : public Partitioner {
+ public:
+  explicit BiasedRandomPartitioner(double balance_slack = 0.05)
+      : slack_(balance_slack) {}
+  std::string name() const override { return "biasrandom"; }
+  std::vector<int> assign(const graph::Graph& g, int num_parts,
+                          std::uint64_t seed) const override;
+
+ private:
+  double slack_;
+};
+
+/// Metis-like edge-cut minimizer: BFS region growing + refinement.
+class MetisLikePartitioner final : public Partitioner {
+ public:
+  explicit MetisLikePartitioner(int refinement_passes = 4)
+      : passes_(refinement_passes) {}
+  std::string name() const override { return "metis"; }
+  std::vector<int> assign(const graph::Graph& g, int num_parts,
+                          std::uint64_t seed) const override;
+
+ private:
+  int passes_;
+};
+
+/// Contiguous vertex ranges with edge-balanced boundaries.
+class ChunkPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "chunk"; }
+  std::vector<int> assign(const graph::Graph& g, int num_parts,
+                          std::uint64_t seed) const override;
+};
+
+/// Factory by name: "random", "biasrandom", "metis", "chunk".
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name);
+
+/// Quality metrics for an assignment (used by Fig. 2 analysis & tests).
+struct PartitionMetrics {
+  std::size_t edge_cut = 0;           ///< edges crossing parts
+  std::vector<std::size_t> part_vertices;  ///< |L_i|
+  std::vector<std::size_t> part_edges;     ///< |E_i| (out-edges of L_i)
+  std::vector<std::size_t> border_out;     ///< |B_i|: distinct (peer, vertex)
+                                           ///< pairs this part sends to
+  double vertex_imbalance = 0;  ///< max |L_i| / mean |L_i|
+  double edge_imbalance = 0;    ///< max |E_i| / mean |E_i|
+};
+
+PartitionMetrics measure_partition(const graph::Graph& g,
+                                   const std::vector<int>& assignment,
+                                   int num_parts);
+
+}  // namespace mgg::part

@@ -1,0 +1,323 @@
+#include "primitives/bc.hpp"
+
+#include <algorithm>
+
+#include "primitives/common.hpp"
+#include "util/error.hpp"
+
+namespace mgg::prim {
+
+namespace {
+// Message tags (see bc.hpp header comment).
+constexpr int kSigmaPartial = 0;    // selective: (v, sigma partial)
+constexpr int kFinalizedLevel = 1;  // broadcast: (v, sigma final), depth
+constexpr int kDeltaPartial = 2;    // selective: (v, delta partial)
+}  // namespace
+
+void BcProblem::init_data_slice(int gpu) {
+  MGG_REQUIRE(config().duplication == part::Duplication::kAll,
+              "BC requires duplicate-all (replicas need global sigma/"
+              "depth for the backward pass)");
+  if (slices_.empty()) slices_.resize(num_gpus());
+  DataSlice& d = slices_[gpu];
+  const part::SubGraph& s = sub(gpu);
+  auto& mem = device(gpu).memory();
+  d.depth.set_allocator(&mem);
+  d.depth.allocate(s.num_total());
+  d.sigma.set_allocator(&mem);
+  d.sigma.allocate(s.num_total());
+  d.sigma_acc.set_allocator(&mem);
+  d.sigma_acc.allocate(s.num_total());
+  d.delta_acc.set_allocator(&mem);
+  d.delta_acc.allocate(s.num_total());
+  d.bc.set_allocator(&mem);
+  d.bc.allocate(s.num_total());
+  d.bc.fill(0);
+  d.border = proxy_vertices(s);
+}
+
+void BcProblem::reset(VertexT src) {
+  MGG_REQUIRE(src < partitioned().global_vertices(), "source out of range");
+  source_ = src;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    DataSlice& d = slices_[gpu];
+    d.depth.fill(kInvalidVertex);
+    d.sigma.fill(0);
+    d.sigma_acc.fill(0);
+    d.delta_acc.fill(0);
+    d.levels.clear();
+    // Duplicate-all: every replica knows the source.
+    d.depth[src] = 0;
+    d.sigma[src] = 1;
+    d.sigma_acc[src] = 1;
+  }
+}
+
+void BcProblem::reset_scores() {
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) slices_[gpu].bc.fill(0);
+}
+
+void BcEnactor::reset(VertexT src) {
+  bc_problem_.reset(src);
+  reset_frontiers();
+  phase_ = Phase::kForward;
+  current_level_ = 0;
+  const auto [host, host_local] = bc_problem_.locate(src);
+  const VertexT seed[] = {host_local};
+  seed_frontier(host, seed);
+}
+
+void BcEnactor::iteration_core(Slice& s) {
+  if (phase_ == Phase::kForward) {
+    core_forward(s);
+  } else {
+    core_backward(s);
+  }
+}
+
+void BcEnactor::core_forward(Slice& s) {
+  BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  const VertexT level = static_cast<VertexT>(iteration());
+  const VertexT next_level = level + 1;
+  const auto input = s.frontier.input();
+
+  // Finalize this level's hosted vertices: all sigma partials (local
+  // and received) have arrived by now. Record the level list for the
+  // backward pass and the finalized broadcast.
+  if (d.levels.size() <= level) d.levels.resize(level + 1);
+  auto& lvl = d.levels[level];
+  lvl.assign(input.begin(), input.end());
+  for (const VertexT v : lvl) d.sigma[v] = d.sigma_acc[v];
+  s.device->add_kernel_cost(0, input.size(), 1);
+
+  core::advance_filter(s.ctx, [&](VertexT u, VertexT v, SizeT) {
+    if (d.depth[v] == kInvalidVertex) {
+      d.depth[v] = next_level;
+      d.sigma_acc[v] += d.sigma[u];
+      return true;
+    }
+    if (d.depth[v] == next_level) {
+      d.sigma_acc[v] += d.sigma[u];  // another shortest path
+    }
+    return false;
+  });
+}
+
+void BcEnactor::core_backward(Slice& s) {
+  BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  const graph::Graph& g = s.sub->csr;
+  const VertexT lvl = current_level_;
+
+  std::uint64_t edge_work = 0;
+  if (lvl < d.levels.size()) {
+    for (const VertexT w : d.levels[lvl]) {
+      const double delta_w = d.delta_acc[w];
+      d.bc[w] += delta_w;
+      const double coeff = (1.0 + delta_w) / d.sigma[w];
+      const auto [begin, end] = g.edge_range(w);
+      for (SizeT e = begin; e < end; ++e) {
+        const VertexT v = g.col_indices[e];
+        if (d.depth[v] + 1 == d.depth[w]) {
+          d.delta_acc[v] += d.sigma[v] * coeff;
+        }
+      }
+      edge_work += end - begin;
+    }
+    s.device->add_kernel_cost(
+        edge_work, lvl < d.levels.size() ? d.levels[lvl].size() : 0, 1);
+  }
+  s.frontier.request_output(0);
+  s.frontier.commit_output(0);
+}
+
+void BcEnactor::communicate(Slice& s) {
+  if (phase_ == Phase::kForward) {
+    communicate_forward(s);
+  } else {
+    communicate_backward(s);
+  }
+}
+
+void BcEnactor::communicate_forward(Slice& s) {
+  BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  const part::SubGraph& sub = *s.sub;
+  const int n = num_gpus();
+  core::Frontier& frontier = s.frontier;
+  const auto out = frontier.output();
+
+  if (n == 1) {
+    frontier.swap();
+    return;
+  }
+
+  // (a) Selective sigma partials for remote-discovered vertices; the
+  // local sub-frontier is compacted in place.
+  VertexT* raw = const_cast<VertexT*>(out.data());
+  SizeT local_count = 0;
+  std::vector<core::Message> outbox(n);
+  for (auto& m : outbox) {
+    m.tag = kSigmaPartial;
+    m.value_assoc.resize(1);
+  }
+  for (const VertexT v : out) {
+    if (sub.is_hosted(v)) {
+      raw[local_count++] = v;
+    } else {
+      const int owner = sub.owner[v];
+      outbox[owner].vertices.push_back(v);  // duplicate-all: IDs global
+      outbox[owner].value_assoc[0].push_back(
+          static_cast<ValueT>(d.sigma_acc[v]));
+      d.sigma_acc[v] = 0;  // partial handed off
+    }
+  }
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer == s.gpu || outbox[peer].empty()) continue;
+    bus().push(s.gpu, peer, std::move(outbox[peer]));
+  }
+
+  // (b) Broadcast this level's finalized (vertex, sigma) pairs so every
+  // replica has authoritative depth and sigma for the backward pass.
+  const VertexT level = static_cast<VertexT>(iteration());
+  if (level < d.levels.size() && !d.levels[level].empty()) {
+    core::Message finalized;
+    finalized.tag = kFinalizedLevel;
+    finalized.value_assoc.resize(1);
+    for (const VertexT v : d.levels[level]) {
+      finalized.vertices.push_back(v);
+      finalized.value_assoc[0].push_back(static_cast<ValueT>(d.sigma[v]));
+    }
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == s.gpu) continue;
+      bus().push(s.gpu, peer, finalized);
+    }
+  }
+
+  s.device->add_kernel_cost(0, out.size(), 1);
+  frontier.commit_output(local_count);
+  frontier.swap();
+}
+
+void BcEnactor::communicate_backward(Slice& s) {
+  BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  const part::SubGraph& sub = *s.sub;
+  const int n = num_gpus();
+  if (n == 1) {
+    s.frontier.swap();
+    return;
+  }
+  // Selective delta partials for proxy parents touched this level.
+  std::vector<core::Message> outbox(n);
+  for (auto& m : outbox) {
+    m.tag = kDeltaPartial;
+    m.value_assoc.resize(1);
+  }
+  for (const VertexT p : d.border) {
+    if (d.delta_acc[p] == 0) continue;
+    const int owner = sub.owner[p];
+    outbox[owner].vertices.push_back(p);
+    outbox[owner].value_assoc[0].push_back(
+        static_cast<ValueT>(d.delta_acc[p]));
+    d.delta_acc[p] = 0;
+  }
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer == s.gpu || outbox[peer].empty()) continue;
+    bus().push(s.gpu, peer, std::move(outbox[peer]));
+  }
+  s.device->add_kernel_cost(0, d.border.size(), 1);
+  s.frontier.swap();
+}
+
+void BcEnactor::expand_incoming(Slice& s, const core::Message& msg) {
+  BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  switch (msg.tag) {
+    case kSigmaPartial: {
+      const VertexT next_level = static_cast<VertexT>(iteration()) + 1;
+      for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
+        const VertexT v = msg.vertices[i];
+        if (d.depth[v] == kInvalidVertex) {
+          d.depth[v] = next_level;
+          s.frontier.append_input(v);
+        } else if (d.depth[v] != next_level) {
+          continue;  // not a shortest path (stale replica on sender)
+        }
+        d.sigma_acc[v] += msg.value_assoc[0][i];
+      }
+      break;
+    }
+    case kFinalizedLevel: {
+      // Authoritative depth/sigma for the sender's hosted vertices.
+      const VertexT level = static_cast<VertexT>(iteration());
+      for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
+        const VertexT v = msg.vertices[i];
+        d.depth[v] = level;
+        d.sigma[v] = msg.value_assoc[0][i];
+      }
+      break;
+    }
+    case kDeltaPartial: {
+      for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
+        d.delta_acc[msg.vertices[i]] += msg.value_assoc[0][i];
+      }
+      break;
+    }
+    default:
+      MGG_ASSERT(false, "unknown BC message tag");
+  }
+}
+
+bool BcEnactor::converged(bool all_frontiers_empty, std::uint64_t) {
+  if (phase_ == Phase::kForward) {
+    if (!all_frontiers_empty) return false;
+    // Forward done: find the deepest populated level across GPUs and
+    // start the backward sweep there.
+    VertexT max_level = 0;
+    for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+      const auto& levels = bc_problem_.data(gpu).levels;
+      for (std::size_t l = 0; l < levels.size(); ++l) {
+        if (!levels[l].empty()) {
+          max_level = std::max(max_level, static_cast<VertexT>(l));
+        }
+      }
+    }
+    if (max_level == 0) return true;  // isolated source
+    phase_ = Phase::kBackward;
+    current_level_ = max_level;
+    return false;
+  }
+  // Backward: one level per iteration, down to level 1.
+  if (current_level_ <= 1) return true;
+  --current_level_;
+  return false;
+}
+
+BcResult run_bc(const graph::Graph& g, vgpu::Machine& machine,
+                core::Config config, std::vector<VertexT> sources) {
+  config.duplication = part::Duplication::kAll;
+
+  BcProblem problem;
+  problem.init(g, machine, config);
+  BcEnactor enactor(problem);
+
+  if (sources.empty()) {
+    sources.resize(g.num_vertices);
+    for (VertexT v = 0; v < g.num_vertices; ++v) sources[v] = v;
+  }
+
+  BcResult result;
+  for (const VertexT src : sources) {
+    enactor.reset(src);
+    result.stats = enactor.enact();
+    result.total_iterations += result.stats.iterations;
+  }
+  auto raw = gather_vertex_values<double>(
+      problem.partitioned(),
+      [&](int gpu, VertexT lv) { return problem.data(gpu).bc[lv]; });
+  result.bc.resize(raw.size());
+  for (std::size_t v = 0; v < raw.size(); ++v) {
+    // Undirected graphs count each path twice.
+    result.bc[v] = static_cast<ValueT>(raw[v] / 2.0);
+  }
+  return result;
+}
+
+}  // namespace mgg::prim

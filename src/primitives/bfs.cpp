@@ -1,0 +1,117 @@
+#include "primitives/bfs.hpp"
+
+#include "primitives/common.hpp"
+#include "util/error.hpp"
+
+namespace mgg::prim {
+
+void BfsProblem::init_data_slice(int gpu) {
+  if (slices_.empty()) slices_.resize(num_gpus());
+  DataSlice& d = slices_[gpu];
+  const part::SubGraph& s = sub(gpu);
+  d.labels.set_allocator(&device(gpu).memory());
+  d.labels.allocate(s.num_total());
+  if (config().mark_predecessors) {
+    d.preds.set_allocator(&device(gpu).memory());
+    d.preds.allocate(s.num_total());
+  }
+}
+
+void BfsProblem::reset(VertexT src) {
+  MGG_REQUIRE(src < partitioned().global_vertices(), "source out of range");
+  source_ = src;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    DataSlice& d = slices_[gpu];
+    d.labels.fill(kInvalidVertex);
+    if (config().mark_predecessors) d.preds.fill(kInvalidVertex);
+  }
+  // Label the source on its host GPU (and on every GPU that has a
+  // proxy for it, so local advances skip it immediately).
+  const auto [host, host_local] = locate(src);
+  slices_[host].labels[host_local] = 0;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    if (gpu == host) continue;
+    // Under duplicate-all the source exists everywhere (local == global
+    // ID); under 1-hop it may exist as a proxy. Find it via the
+    // subgraph's local numbering.
+    const part::SubGraph& s = sub(gpu);
+    if (config().duplication == part::Duplication::kAll) {
+      slices_[gpu].labels[src] = 0;
+    } else {
+      // Proxies are the tail of the local numbering, sorted by global
+      // ID; linear scan is fine at reset time.
+      for (VertexT lv = s.num_local; lv < s.num_total(); ++lv) {
+        if (s.local_to_global[lv] == src) {
+          slices_[gpu].labels[lv] = 0;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void BfsEnactor::reset(VertexT src) {
+  bfs_problem_.reset(src);
+  reset_frontiers();
+  const auto [host, host_local] = bfs_problem_.locate(src);
+  const VertexT seed[] = {host_local};
+  seed_frontier(host, seed);
+}
+
+void BfsEnactor::iteration_core(Slice& s) {
+  BfsProblem::DataSlice& d = bfs_problem_.data(s.gpu);
+  const bool mark_preds = bfs_problem_.config().mark_predecessors;
+  const VertexT next_label = static_cast<VertexT>(iteration()) + 1;
+  const auto& local_to_global = s.sub->local_to_global;
+
+  core::advance_filter(s.ctx, [&](VertexT src, VertexT dst, SizeT) {
+    if (d.labels[dst] != kInvalidVertex) return false;
+    d.labels[dst] = next_label;
+    if (mark_preds) d.preds[dst] = local_to_global[src];
+    return true;
+  });
+}
+
+int BfsEnactor::num_vertex_associates() const {
+  return bfs_problem_.config().mark_predecessors ? 1 : 0;
+}
+
+void BfsEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
+  if (!bfs_problem_.config().mark_predecessors) return;
+  msg.vertex_assoc[0].push_back(bfs_problem_.data(s.gpu).preds[v]);
+}
+
+void BfsEnactor::expand_incoming(Slice& s, const core::Message& msg) {
+  BfsProblem::DataSlice& d = bfs_problem_.data(s.gpu);
+  const bool mark_preds = bfs_problem_.config().mark_predecessors;
+  const VertexT label = static_cast<VertexT>(iteration()) + 1;
+  for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
+    const VertexT v = msg.vertices[i];
+    if (d.labels[v] != kInvalidVertex) continue;  // already visited
+    d.labels[v] = label;
+    if (mark_preds) d.preds[v] = msg.vertex_assoc[0][i];
+    s.frontier.append_input(v);
+  }
+}
+
+BfsResult run_bfs(const graph::Graph& g, VertexT src, vgpu::Machine& machine,
+                  const core::Config& config) {
+  BfsProblem problem;
+  problem.init(g, machine, config);
+  BfsEnactor enactor(problem);
+  enactor.reset(src);
+
+  BfsResult result;
+  result.stats = enactor.enact();
+  result.labels = gather_vertex_values<VertexT>(
+      problem.partitioned(),
+      [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
+  if (config.mark_predecessors) {
+    result.preds = gather_vertex_values<VertexT>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
+  }
+  return result;
+}
+
+}  // namespace mgg::prim

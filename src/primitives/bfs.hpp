@@ -1,0 +1,83 @@
+// Multi-GPU breadth-first search (paper Algorithm 1 / Appendix A).
+//
+// Programmer-specified pieces:
+//   Vertex duplication — duplicate-all by default ("we trade memory
+//     usage for better performance for BFS"); duplicate-1-hop also
+//     works via Config.
+//   Computation — an advance+filter over the input frontier (fused per
+//     the allocation scheme); W in O(|E_i|).
+//   Communication — selective: only remote frontier vertices are sent,
+//     each to its host GPU, with the predecessor ID as the only vertex
+//     associate (when mark_predecessors is on).
+//   Combination — if a received vertex has not been visited, set its
+//     label (and predecessor) and place it in the next input frontier.
+//     H in O(|B_i|), C in O(|V_i|).
+//   Convergence — all frontiers empty; S ~ D/2 per partition.
+#pragma once
+
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "util/array1d.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::prim {
+
+class BfsProblem : public core::ProblemBase {
+ public:
+  /// Per-GPU data: depth labels and optional predecessors, indexed by
+  /// local vertex ID, charged to the device's memory.
+  struct DataSlice {
+    util::Array1D<VertexT> labels{"bfs.labels"};
+    util::Array1D<VertexT> preds{"bfs.preds"};  ///< global IDs
+  };
+
+  DataSlice& data(int gpu) { return slices_[gpu]; }
+
+  /// Prepare a new traversal from global source `src`: reset labels
+  /// everywhere; the enactor's frontier is seeded separately (see
+  /// BfsEnactor::reset).
+  void reset(VertexT src);
+
+  VertexT source() const noexcept { return source_; }
+
+ protected:
+  void init_data_slice(int gpu) override;
+
+ private:
+  std::vector<DataSlice> slices_;
+  VertexT source_ = 0;
+};
+
+class BfsEnactor : public core::EnactorBase {
+ public:
+  explicit BfsEnactor(BfsProblem& problem)
+      : core::EnactorBase(problem), bfs_problem_(problem) {}
+
+  /// Reset problem data and seed the source's host GPU.
+  void reset(VertexT src);
+
+ protected:
+  void iteration_core(Slice& s) override;
+  int num_vertex_associates() const override;
+  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void expand_incoming(Slice& s, const core::Message& msg) override;
+
+ private:
+  BfsProblem& bfs_problem_;
+};
+
+/// Result of a BFS run, gathered back to global vertex IDs.
+struct BfsResult {
+  std::vector<VertexT> labels;  ///< depth from source; kInvalidVertex if unreached
+  std::vector<VertexT> preds;  ///< BFS-tree parent (global); empty if not marked
+  vgpu::RunStats stats;
+};
+
+/// Convenience facade: partition, run one BFS, gather the result.
+BfsResult run_bfs(const graph::Graph& g, VertexT src, vgpu::Machine& machine,
+                  const core::Config& config);
+
+}  // namespace mgg::prim

@@ -1,0 +1,77 @@
+// Multi-GPU connected components.
+//
+// A hooking + pointer-jumping algorithm in the style of Soman et
+// al. [12] — the non-traversal primitive the paper cites as the reason
+// an n-hop-limited framework (Medusa) lacks generality: pointer
+// jumping dereferences component IDs that can be arbitrarily far away
+// in the graph, which is exactly why CC requires duplicate-all (every
+// GPU can index the full component array) and broadcast.
+//
+// Per iteration (Table I row "CC"):
+//   hooking       — every local edge (u,v) pulls the larger component
+//                   ID down to the smaller one; W in O(|E_i|)
+//   pointer jump  — full local path compression; O(|V_i|)
+//   communication — broadcast the (vertex, component) pairs that
+//                   changed; H in S x O(2|V_i|)
+//   combination   — keep the minimum of local and received IDs
+//   convergence   — no component ID changed anywhere; S ~ 2-5
+#pragma once
+
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "util/array1d.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::prim {
+
+class CcProblem : public core::ProblemBase {
+ public:
+  struct DataSlice {
+    /// Component ID per vertex (global IDs; duplicate-all replica).
+    util::Array1D<VertexT> comp{"cc.comp"};
+    /// Scratch change flags for building the changed-vertex frontier.
+    std::vector<char> changed;
+  };
+
+  DataSlice& data(int gpu) { return slices_[gpu]; }
+  void reset();
+
+ protected:
+  void init_data_slice(int gpu) override;
+
+ private:
+  std::vector<DataSlice> slices_;
+};
+
+class CcEnactor : public core::EnactorBase {
+ public:
+  explicit CcEnactor(CcProblem& problem)
+      : core::EnactorBase(problem), cc_problem_(problem) {}
+
+  void reset();
+
+ protected:
+  void iteration_core(Slice& s) override;
+  int num_vertex_associates() const override { return 1; }
+  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void expand_incoming(Slice& s, const core::Message& msg) override;
+
+ private:
+  CcProblem& cc_problem_;
+};
+
+struct CcResult {
+  /// Component label per vertex: the smallest vertex ID in the
+  /// component (canonical, directly comparable with the CPU oracle).
+  std::vector<VertexT> comp;
+  VertexT num_components = 0;
+  vgpu::RunStats stats;
+};
+
+CcResult run_cc(const graph::Graph& g, vgpu::Machine& machine,
+                core::Config config);
+
+}  // namespace mgg::prim

@@ -1,0 +1,36 @@
+#include "primitives/common.hpp"
+
+#include <vector>
+
+namespace mgg::prim {
+
+std::vector<VertexT> hosted_vertices(const part::SubGraph& sub) {
+  std::vector<VertexT> out;
+  out.reserve(sub.num_local);
+  for (VertexT v = 0; v < sub.num_total(); ++v) {
+    if (sub.is_hosted(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexT> proxy_vertices(const part::SubGraph& sub) {
+  // Proxies that can actually receive local contributions are the
+  // distinct remote endpoints of local edges (the border B_i). Under
+  // duplicate-1-hop that is every non-hosted vertex by construction;
+  // under duplicate-all most of V is remote but only the border
+  // matters, so scan the local edge lists.
+  std::vector<char> touched(sub.num_total(), 0);
+  for (VertexT v = 0; v < sub.num_total(); ++v) {
+    if (!sub.is_hosted(v)) continue;
+    for (const VertexT u : sub.csr.neighbors(v)) {
+      if (!sub.is_hosted(u)) touched[u] = 1;
+    }
+  }
+  std::vector<VertexT> out;
+  for (VertexT v = 0; v < sub.num_total(); ++v) {
+    if (touched[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mgg::prim

@@ -1,0 +1,34 @@
+// Shared helpers for graph primitives.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "graph/types.hpp"
+#include "partition/partitioned_graph.hpp"
+
+namespace mgg::prim {
+
+/// Gather a per-vertex result distributed across GPUs back into one
+/// global array: for every global vertex, read the value its *host*
+/// GPU computed (each GPU is authoritative only for hosted vertices).
+template <typename T, typename Getter>
+std::vector<T> gather_vertex_values(const part::PartitionedGraph& pg,
+                                    Getter&& get) {
+  std::vector<T> out(pg.global_vertices());
+  for (VertexT v = 0; v < pg.global_vertices(); ++v) {
+    out[v] = get(pg.owner_of(v), pg.host_local_of(v));
+  }
+  return out;
+}
+
+/// Local vertex IDs hosted by GPU `gpu` (the L_i set), in local-ID order.
+std::vector<VertexT> hosted_vertices(const part::SubGraph& sub);
+
+/// Local vertex IDs of proxies on GPU `gpu` (remote-hosted vertices
+/// that appear in the local vertex set): the outgoing border B_i as a
+/// concrete list.
+std::vector<VertexT> proxy_vertices(const part::SubGraph& sub);
+
+}  // namespace mgg::prim

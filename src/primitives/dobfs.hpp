@@ -1,0 +1,114 @@
+// Multi-GPU direction-optimizing BFS (paper Algorithm 2 and §VI-A).
+//
+// Forward ("push") iterations are ordinary BFS advances. Backward
+// ("pull") iterations use the per-vertex advance mode: every unvisited
+// hosted vertex scans its neighbor list and stops at the first parent
+// found in the current frontier (edge skipping).
+//
+// The paper's two mGPU-specific fixes are both implemented:
+//   1. The frontier carried between iterations is always the
+//      *newly-discovered* vertex set, giving a direction-independent
+//      view — switching directions costs nothing except the one
+//      unvisited-scan performed on the (single allowed) forward ->
+//      backward switch.
+//   2. The switch rule uses only already-available inputs:
+//        FV = |Q| * |E| / |V|   (estimated forward edges)
+//        BV = |U| * |V| / |P|   (estimated backward edges)
+//      switch forward->backward when FV > BV * do_a (once), and
+//      backward->forward when FV < BV * do_b. Defaults do_a = 0.01,
+//      do_b = 0.1 (the paper's social-graph values; they are
+//      mGPU-independent).
+//
+// Communication is broadcast with duplicate-all, because the next
+// iteration may run in either direction and the pull needs every
+// GPU's visited status for its local proxies. H in O((n-1)|V|) — the
+// communication wall that makes DOBFS scale flat (§VII-B).
+#pragma once
+
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "util/array1d.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::prim {
+
+struct DobfsOptions {
+  double do_a = 0.01;  ///< forward -> backward threshold
+  double do_b = 0.1;   ///< backward -> forward threshold
+};
+
+class DobfsProblem : public core::ProblemBase {
+ public:
+  struct DataSlice {
+    util::Array1D<VertexT> labels{"dobfs.labels"};
+    util::Array1D<VertexT> preds{"dobfs.preds"};
+    /// Hosted unvisited vertices (rebuilt on the forward->backward
+    /// switch, compacted each pull iteration).
+    util::Array1D<VertexT> unvisited{"dobfs.unvisited"};
+    SizeT num_unvisited = 0;
+  };
+
+  DataSlice& data(int gpu) { return slices_[gpu]; }
+  void reset(VertexT src);
+  VertexT source() const noexcept { return source_; }
+
+ protected:
+  void init_data_slice(int gpu) override;
+
+ private:
+  std::vector<DataSlice> slices_;
+  VertexT source_ = 0;
+};
+
+class DobfsEnactor : public core::EnactorBase {
+ public:
+  enum class Direction { kForward, kBackward };
+
+  DobfsEnactor(DobfsProblem& problem, DobfsOptions options = {})
+      : core::EnactorBase(problem),
+        dobfs_problem_(problem),
+        options_(options) {}
+
+  void reset(VertexT src);
+
+  Direction direction() const noexcept { return direction_; }
+  int direction_switches() const noexcept { return switches_; }
+
+ protected:
+  void iteration_core(Slice& s) override;
+  int num_vertex_associates() const override;
+  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void expand_incoming(Slice& s, const core::Message& msg) override;
+  void begin_iteration(std::uint64_t iteration) override;
+
+ private:
+  void core_forward(Slice& s);
+  void core_backward(Slice& s);
+
+  DobfsProblem& dobfs_problem_;
+  DobfsOptions options_;
+  Direction direction_ = Direction::kForward;
+  bool switched_to_backward_ = false;  ///< the paper allows one f->b switch
+  int switches_ = 0;
+  /// |P| contributions per GPU: hosted vertices visited so far. Each
+  /// entry is written only by its GPU's control thread; the global
+  /// direction decision reads them between supersteps (barrier-ordered).
+  std::vector<std::uint64_t> visited_hosted_;
+  std::vector<char> needs_rebuild_;  ///< per GPU, set on the f->b switch
+};
+
+struct DobfsResult {
+  std::vector<VertexT> labels;
+  std::vector<VertexT> preds;
+  vgpu::RunStats stats;
+  int direction_switches = 0;
+};
+
+DobfsResult run_dobfs(const graph::Graph& g, VertexT src,
+                      vgpu::Machine& machine, core::Config config,
+                      DobfsOptions options = {});
+
+}  // namespace mgg::prim

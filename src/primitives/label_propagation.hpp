@@ -1,0 +1,81 @@
+// Multi-GPU label-propagation community detection (extension
+// primitive — not one of the paper's six, included as evidence for the
+// framework's generality claim; it is a standard primitive in the
+// wider Gunrock family).
+//
+// Synchronous LP: every vertex adopts the most frequent label among
+// its neighbors (smallest label breaks ties), iterating until no label
+// changes or the iteration cap is hit (synchronous LP can oscillate on
+// bipartite-like structures, so a cap is part of the algorithm).
+//
+// Multi-GPU mapping: duplicate-all + broadcast, like CC — but with a
+// different combine: labels are *owner-authoritative*. Only a vertex's
+// host GPU recomputes its label; replicas adopt received values
+// verbatim (no min/max/add semantics), exercising a combiner class the
+// six paper primitives don't.
+#pragma once
+
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "util/array1d.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::prim {
+
+struct LpOptions {
+  int max_iterations = 50;
+};
+
+class LpProblem : public core::ProblemBase {
+ public:
+  struct DataSlice {
+    util::Array1D<VertexT> label{"lp.label"};
+    std::vector<VertexT> hosted;
+  };
+
+  DataSlice& data(int gpu) { return slices_[gpu]; }
+  void reset();
+
+ protected:
+  void init_data_slice(int gpu) override;
+
+ private:
+  std::vector<DataSlice> slices_;
+};
+
+class LpEnactor : public core::EnactorBase {
+ public:
+  LpEnactor(LpProblem& problem, LpOptions options = {})
+      : core::EnactorBase(problem), lp_problem_(problem), options_(options) {}
+
+  void reset();
+
+ protected:
+  void iteration_core(Slice& s) override;
+  int num_vertex_associates() const override { return 1; }
+  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void expand_incoming(Slice& s, const core::Message& msg) override;
+  bool converged(bool all_frontiers_empty, std::uint64_t iteration) override;
+
+ private:
+  LpProblem& lp_problem_;
+  LpOptions options_;
+};
+
+struct LpResult {
+  std::vector<VertexT> label;      ///< community label per vertex
+  VertexT num_communities = 0;
+  vgpu::RunStats stats;
+};
+
+LpResult run_label_propagation(const graph::Graph& g, vgpu::Machine& machine,
+                               core::Config config, LpOptions options = {});
+
+/// Deterministic CPU oracle: the identical synchronous update rule.
+std::vector<VertexT> cpu_label_propagation(const graph::Graph& g,
+                                           int max_iterations);
+
+}  // namespace mgg::prim

@@ -1,0 +1,172 @@
+#include "primitives/sssp.hpp"
+
+#include <limits>
+
+#include "primitives/common.hpp"
+#include "util/error.hpp"
+
+namespace mgg::prim {
+
+namespace {
+constexpr ValueT kInf = std::numeric_limits<ValueT>::infinity();
+}
+
+void SsspProblem::init_data_slice(int gpu) {
+  if (slices_.empty()) slices_.resize(num_gpus());
+  DataSlice& d = slices_[gpu];
+  const part::SubGraph& s = sub(gpu);
+  MGG_REQUIRE(s.csr.has_values() || s.csr.num_edges == 0,
+              "SSSP needs edge values");
+  d.dist.set_allocator(&device(gpu).memory());
+  d.dist.allocate(s.num_total());
+  if (config().mark_predecessors) {
+    d.preds.set_allocator(&device(gpu).memory());
+    d.preds.allocate(s.num_total());
+  }
+}
+
+void SsspProblem::reset(VertexT src) {
+  MGG_REQUIRE(src < partitioned().global_vertices(), "source out of range");
+  source_ = src;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    DataSlice& d = slices_[gpu];
+    d.dist.fill(kInf);
+    if (config().mark_predecessors) d.preds.fill(kInvalidVertex);
+  }
+  const auto [host, host_local] = locate(src);
+  slices_[host].dist[host_local] = 0;
+  // Also zero any local copies (proxies / duplicate-all replicas).
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    if (gpu == host) continue;
+    const part::SubGraph& s = sub(gpu);
+    if (config().duplication == part::Duplication::kAll) {
+      slices_[gpu].dist[src] = 0;
+    } else {
+      for (VertexT lv = s.num_local; lv < s.num_total(); ++lv) {
+        if (s.local_to_global[lv] == src) {
+          slices_[gpu].dist[lv] = 0;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void SsspEnactor::reset(VertexT src) {
+  sssp_problem_.reset(src);
+  reset_frontiers();
+  threshold_ = options_.delta;
+  far_.assign(num_gpus(), {});
+  const auto [host, host_local] = sssp_problem_.locate(src);
+  const VertexT seed[] = {host_local};
+  seed_frontier(host, seed);
+}
+
+void SsspEnactor::iteration_core(Slice& s) {
+  SsspProblem::DataSlice& d = sssp_problem_.data(s.gpu);
+  const bool mark_preds = sssp_problem_.config().mark_predecessors;
+  const auto& values = s.sub->csr.edge_values;
+  const auto& local_to_global = s.sub->local_to_global;
+
+  if (near_far()) {
+    // Near-far split: keep only vertices below the current threshold
+    // in this superstep's frontier; defer the rest (one far-pile slot
+    // per vertex — re-deferrals are deduplicated by distance check at
+    // drain time).
+    const auto input = s.frontier.input();
+    std::vector<VertexT> near;
+    near.reserve(input.size());
+    for (const VertexT v : input) {
+      if (d.dist[v] < threshold_) {
+        near.push_back(v);
+      } else {
+        far_[s.gpu].push_back(v);
+      }
+    }
+    if (near.size() != input.size()) {
+      s.frontier.set_input(near);
+      s.device->add_kernel_cost(0, input.size(), 1);  // the split kernel
+    }
+  }
+
+  core::advance_filter(s.ctx, [&](VertexT src, VertexT dst, SizeT e) {
+    const ValueT candidate = d.dist[src] + values[e];
+    if (candidate >= d.dist[dst]) return false;
+    d.dist[dst] = candidate;
+    if (mark_preds) d.preds[dst] = local_to_global[src];
+    return true;
+  });
+}
+
+int SsspEnactor::num_vertex_associates() const {
+  return sssp_problem_.config().mark_predecessors ? 1 : 0;
+}
+
+void SsspEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
+  SsspProblem::DataSlice& d = sssp_problem_.data(s.gpu);
+  msg.value_assoc[0].push_back(d.dist[v]);
+  if (sssp_problem_.config().mark_predecessors) {
+    msg.vertex_assoc[0].push_back(d.preds[v]);
+  }
+}
+
+void SsspEnactor::expand_incoming(Slice& s, const core::Message& msg) {
+  SsspProblem::DataSlice& d = sssp_problem_.data(s.gpu);
+  const bool mark_preds = sssp_problem_.config().mark_predecessors;
+  for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
+    const VertexT v = msg.vertices[i];
+    const ValueT received = msg.value_assoc[0][i];
+    if (received >= d.dist[v]) continue;  // combiner: take the minimum
+    d.dist[v] = received;
+    if (mark_preds) d.preds[v] = msg.vertex_assoc[0][i];
+    s.frontier.append_input(v);
+  }
+}
+
+bool SsspEnactor::converged(bool all_frontiers_empty,
+                            std::uint64_t /*iteration*/) {
+  if (!all_frontiers_empty) return false;
+  if (!near_far()) return true;
+  // Every near frontier drained: advance the threshold and requeue the
+  // far piles (runs exclusively between supersteps). Entries whose
+  // distance improved below an already-processed value are still
+  // correct — the relax condition re-checks at processing time.
+  bool any = false;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    if (!far_[gpu].empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return true;
+  threshold_ += options_.delta;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    auto& frontier = slice(gpu).frontier;
+    for (const VertexT v : far_[gpu]) frontier.append_input(v);
+    far_[gpu].clear();
+  }
+  return false;
+}
+
+SsspResult run_sssp(const graph::Graph& g, VertexT src,
+                    vgpu::Machine& machine, const core::Config& config,
+                    SsspOptions options) {
+  SsspProblem problem;
+  problem.init(g, machine, config);
+  SsspEnactor enactor(problem, options);
+  enactor.reset(src);
+
+  SsspResult result;
+  result.stats = enactor.enact();
+  result.dist = gather_vertex_values<ValueT>(
+      problem.partitioned(),
+      [&](int gpu, VertexT lv) { return problem.data(gpu).dist[lv]; });
+  if (config.mark_predecessors) {
+    result.preds = gather_vertex_values<VertexT>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
+  }
+  return result;
+}
+
+}  // namespace mgg::prim

@@ -1,0 +1,45 @@
+// Abstract device-memory allocation interface.
+//
+// util::Array1D routes its storage requests through a DeviceAllocator so
+// that the virtual-GPU memory manager (vgpu::MemoryManager) can enforce
+// per-device capacity and account every byte — the mechanism behind the
+// paper's Fig. 3 memory-consumption comparison. Arrays not bound to a
+// device (host-side tables) use the default heap allocator.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace mgg::util {
+
+/// Interface implemented by memory accountants (vgpu::MemoryManager).
+class DeviceAllocator {
+ public:
+  virtual ~DeviceAllocator() = default;
+
+  /// Allocate `bytes` bytes, attributed to allocation `name`.
+  /// Throws mgg::Error(kOutOfMemory) when device capacity is exceeded.
+  virtual void* allocate(std::size_t bytes, std::string_view name) = 0;
+
+  /// Return memory obtained from allocate(). Must not throw.
+  virtual void deallocate(void* ptr, std::size_t bytes) noexcept = 0;
+};
+
+/// Plain heap allocator used when no device is attached.
+class HeapAllocator final : public DeviceAllocator {
+ public:
+  void* allocate(std::size_t bytes, std::string_view /*name*/) override {
+    return ::operator new(bytes);
+  }
+  void deallocate(void* ptr, std::size_t /*bytes*/) noexcept override {
+    ::operator delete(ptr);
+  }
+
+  /// Shared process-wide instance.
+  static HeapAllocator& instance() {
+    static HeapAllocator alloc;
+    return alloc;
+  }
+};
+
+}  // namespace mgg::util

@@ -1,0 +1,150 @@
+// Array1D: named, device-accounted 1-D array.
+//
+// This is the reproduction of Gunrock's util::Array1D. Every frontier
+// queue, label array, and communication buffer in the framework is an
+// Array1D bound to a virtual device's allocator, which lets the memory
+// manager implement the allocation schemes compared in Fig. 3
+// (just-enough / fixed / max / prealloc+fusion) and enforce capacity.
+//
+// The key operation is ensure_size(): the "just-enough" reallocation
+// primitive. It grows the array only when the requested size exceeds
+// the current capacity, optionally preserving contents, and counts the
+// (expensive) reallocation events so benches can report them.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "util/allocator.hpp"
+#include "util/error.hpp"
+
+namespace mgg::util {
+
+template <typename T>
+class Array1D {
+ public:
+  Array1D() : Array1D("unnamed") {}
+
+  explicit Array1D(std::string name, DeviceAllocator* allocator = nullptr)
+      : name_(std::move(name)),
+        allocator_(allocator ? allocator : &HeapAllocator::instance()) {}
+
+  Array1D(const Array1D&) = delete;
+  Array1D& operator=(const Array1D&) = delete;
+
+  Array1D(Array1D&& other) noexcept { move_from(std::move(other)); }
+  Array1D& operator=(Array1D&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~Array1D() { release(); }
+
+  /// Bind to a device allocator. Must be called before the first
+  /// allocation (rebinding with live storage is a framework bug).
+  void set_allocator(DeviceAllocator* allocator) {
+    MGG_ASSERT(data_ == nullptr, "Array1D(" + name_ + "): rebind with live storage");
+    allocator_ = allocator ? allocator : &HeapAllocator::instance();
+  }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Allocate exactly `count` elements, discarding previous contents.
+  void allocate(std::size_t count) {
+    release();
+    if (count == 0) return;
+    data_ = static_cast<T*>(allocator_->allocate(count * sizeof(T), name_));
+    capacity_ = count;
+    size_ = count;
+  }
+
+  /// Free the storage (safe to call repeatedly).
+  void release() noexcept {
+    if (data_ != nullptr) {
+      allocator_->deallocate(data_, capacity_ * sizeof(T));
+      data_ = nullptr;
+    }
+    capacity_ = 0;
+    size_ = 0;
+  }
+
+  /// Just-enough growth: make sure at least `count` elements fit.
+  /// Grows capacity to exactly `count` (the paper reallocates to the
+  /// computed required size, not geometrically — memory is the scarce
+  /// resource). Returns true if a reallocation happened.
+  bool ensure_size(std::size_t count, bool keep_contents = false) {
+    if (count <= capacity_) {
+      size_ = count > size_ ? count : size_;
+      return false;
+    }
+    T* fresh = static_cast<T*>(allocator_->allocate(count * sizeof(T), name_));
+    if (keep_contents && data_ != nullptr && size_ > 0) {
+      std::memcpy(fresh, data_, size_ * sizeof(T));
+    }
+    if (data_ != nullptr) {
+      allocator_->deallocate(data_, capacity_ * sizeof(T));
+    }
+    data_ = fresh;
+    capacity_ = count;
+    size_ = count;
+    ++realloc_count_;
+    return true;
+  }
+
+  /// Logical size adjustment within capacity (no allocation).
+  void set_size(std::size_t count) {
+    MGG_ASSERT(count <= capacity_,
+               "Array1D(" + name_ + "): set_size beyond capacity");
+    size_ = count;
+  }
+
+  void fill(const T& value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of ensure_size() calls that actually reallocated.
+  std::size_t realloc_count() const noexcept { return realloc_count_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void move_from(Array1D&& other) noexcept {
+    name_ = std::move(other.name_);
+    allocator_ = other.allocator_;
+    data_ = std::exchange(other.data_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    realloc_count_ = std::exchange(other.realloc_count_, 0);
+  }
+
+  std::string name_;
+  DeviceAllocator* allocator_ = &HeapAllocator::instance();
+  T* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  std::size_t realloc_count_ = 0;
+};
+
+}  // namespace mgg::util

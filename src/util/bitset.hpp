@@ -1,0 +1,71 @@
+// Concurrent bitset used for visited masks in traversal primitives.
+//
+// test_and_set() is the GPU `atomicOr` idiom: many lanes may race to
+// claim the same vertex and exactly one wins, which is how BFS avoids
+// duplicate frontier entries.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace mgg::util {
+
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = (bits + 63) / 64;
+    data_ = std::make_unique<std::atomic<std::uint64_t>[]>(words_);
+    clear();
+  }
+
+  void clear() {
+    for (std::size_t w = 0; w < words_; ++w)
+      data_[w].store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+
+  bool test(std::size_t i) const {
+    return (data_[i >> 6].load(std::memory_order_relaxed) >>
+            (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    data_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  void clear_bit(std::size_t i) {
+    data_[i >> 6].fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+  }
+
+  /// Atomically set bit i; returns true iff this call flipped it 0->1.
+  bool test_and_set(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        data_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Population count over the whole set (not atomic w.r.t. writers).
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_; ++w)
+      total += static_cast<std::size_t>(
+          __builtin_popcountll(data_[w].load(std::memory_order_relaxed)));
+    return total;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t words_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> data_;
+};
+
+}  // namespace mgg::util

@@ -1,0 +1,134 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace mgg::util {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == '1') {
+      out_ += ',';
+    } else {
+      stack_.back() = '1';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  stack_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MGG_ASSERT(!stack_.empty(), "unbalanced end_object");
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  stack_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MGG_ASSERT(!stack_.empty(), "unbalanced end_array");
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separator();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  separator();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separator();
+  if (std::isfinite(number)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", number);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no inf/nan
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long number) {
+  separator();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long number) {
+  separator();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separator();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+void JsonWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  MGG_CHECK(out.good(), Status::kIoError, "cannot open " + path);
+  out << out_;
+  MGG_CHECK(out.good(), Status::kIoError, "write failed for " + path);
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mgg::util

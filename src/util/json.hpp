@@ -1,0 +1,54 @@
+// Minimal JSON writer for exporting run statistics and per-iteration
+// traces to downstream analysis tooling (plotting the paper's figures
+// from CSV/JSON rather than parsing console tables).
+//
+// Write-only by design: the library never needs to parse JSON.
+#pragma once
+
+#include <string>
+
+namespace mgg::util {
+
+/// Streaming JSON builder with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("iterations").value(42);
+///   w.key("series").begin_array();
+///   w.value(1.5).value(2.5);
+///   w.end_array();
+///   w.end_object();
+///   w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key (must be inside an object).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(long long number);
+  JsonWriter& value(unsigned long long number);
+  JsonWriter& value(bool flag);
+
+  const std::string& str() const noexcept { return out_; }
+
+  /// Write str() to a file; throws kIoError on failure.
+  void save(const std::string& path) const;
+
+  static std::string escape(const std::string& text);
+
+ private:
+  void separator();
+
+  std::string out_;
+  /// Stack of "does the current container already have an element".
+  std::string stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mgg::util

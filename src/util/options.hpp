@@ -1,0 +1,36 @@
+// Tiny command-line option parser for examples and bench binaries.
+//
+// Accepts `--key=value`, `--key value`, and boolean flags `--key`.
+// Unknown positional arguments are collected in order.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgg::util {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv) { parse(argc, argv); }
+
+  void parse(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mgg::util

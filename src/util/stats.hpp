@@ -1,0 +1,44 @@
+// Small statistics helpers used by the bench harness.
+//
+// The paper reports geometric-mean speedups (Figs. 4 and 6); these are
+// the exact aggregations used there.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace mgg::util {
+
+/// Geometric mean of strictly positive values.
+inline double geometric_mean(std::span<const double> values) {
+  MGG_REQUIRE(!values.empty(), "geometric_mean of empty range");
+  double log_sum = 0.0;
+  for (double v : values) {
+    MGG_REQUIRE(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Arithmetic mean.
+inline double mean(std::span<const double> values) {
+  MGG_REQUIRE(!values.empty(), "mean of empty range");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Harmonic mean of strictly positive values (rate aggregation).
+inline double harmonic_mean(std::span<const double> values) {
+  MGG_REQUIRE(!values.empty(), "harmonic_mean of empty range");
+  double inv_sum = 0.0;
+  for (double v : values) {
+    MGG_REQUIRE(v > 0.0, "harmonic_mean requires positive values");
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv_sum;
+}
+
+}  // namespace mgg::util

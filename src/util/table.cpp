@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mgg::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> names, int precision) {
+  columns_ = std::move(names);
+  precision_ = precision;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  MGG_REQUIRE(cells.size() == columns_.size(),
+              "Table row width mismatch (" + std::to_string(cells.size()) +
+                  " vs " + std::to_string(columns_.size()) + ")");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  const double v = std::get<double>(cell);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision_, v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  if (!title_.empty()) std::printf("\n== %s ==\n", title_.c_str());
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("+");
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    }
+    std::printf("+\n");
+  };
+  print_sep();
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("| %-*s ", static_cast<int>(widths[c]), columns_[c].c_str());
+  std::printf("|\n");
+  print_sep();
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("| %-*s ", static_cast<int>(widths[c]), row[c].c_str());
+    std::printf("|\n");
+  }
+  print_sep();
+  std::fflush(stdout);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  MGG_CHECK(out.good(), Status::kIoError, "cannot open " + path);
+  if (!title_.empty()) out << "# " << title_ << "\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << render_cell(row[c]) << (c + 1 < row.size() ? "," : "\n");
+  }
+}
+
+}  // namespace mgg::util

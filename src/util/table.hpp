@@ -1,0 +1,42 @@
+// Console table / CSV writer used by the bench harness to print rows in
+// the same layout as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mgg::util {
+
+/// A cell is text, an integer, or a floating value (printed with the
+/// column's precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define the columns. `precision` applies to double cells.
+  void set_columns(std::vector<std::string> names, int precision = 3);
+
+  void add_row(std::vector<Cell> cells);
+
+  /// Render to stdout with aligned columns and a title banner.
+  void print() const;
+
+  /// Write as CSV (comma-separated, title as a `# comment`).
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<std::vector<Cell>>& rows() const noexcept { return rows_; }
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace mgg::util

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers.
+//
+// Modeled (simulated) time lives in vgpu::CostModel; this header is only
+// for measuring real host time (partitioner runtime, test budgets).
+#pragma once
+
+#include <chrono>
+
+namespace mgg::util {
+
+/// Simple start/stop wall timer with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mgg::util

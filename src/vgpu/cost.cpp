@@ -1,0 +1,17 @@
+#include "vgpu/cost.hpp"
+
+namespace mgg::vgpu {
+
+double sync_overhead_seconds(int active_gpus) {
+  // Calibrated against §V-B's measured per-iteration times of
+  // {66.8, 124, 142, 188} us for 1-4 GPUs (which include ~2-5 kernel
+  // launches at ~3 us that the operators already count): base ~60 us,
+  // +42 us once any inter-GPU sync exists, +16 us per additional GPU.
+  double overhead = 60e-6;
+  if (active_gpus >= 2) {
+    overhead += 42e-6 + 16e-6 * static_cast<double>(active_gpus - 1);
+  }
+  return overhead;
+}
+
+}  // namespace mgg::vgpu

@@ -1,0 +1,111 @@
+// A virtual GPU device.
+//
+// Bundles the pieces a primitive interacts with: a memory manager
+// (capacity + accounting), two streams (compute and communication, so
+// the framework can overlap them as in §III-B), and per-iteration cost
+// counters fed by the operators and the communication layer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "vgpu/cost.hpp"
+#include "vgpu/gpu_model.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/stream.hpp"
+
+namespace mgg::vgpu {
+
+class Device {
+ public:
+  Device(int id, GpuModel model)
+      : id_(id),
+        model_(std::move(model)),
+        memory_(model_.memory_bytes),
+        compute_stream_("gpu" + std::to_string(id) + ".compute"),
+        comm_stream_("gpu" + std::to_string(id) + ".comm") {}
+
+  int id() const noexcept { return id_; }
+  const GpuModel& model() const noexcept { return model_; }
+  MemoryManager& memory() noexcept { return memory_; }
+  const MemoryManager& memory() const noexcept { return memory_; }
+  Stream& compute_stream() noexcept { return compute_stream_; }
+  Stream& comm_stream() noexcept { return comm_stream_; }
+
+  /// Record the cost of one kernel: `edges` advance work items,
+  /// `vertices` filter/compute items, `launches` kernel launches.
+  /// `imbalance` >= 1 is the max/mean worker-load ratio from the
+  /// advance load-balancing policy (core/load_balance.hpp): a skewed
+  /// mapping's kernel finishes when its most loaded worker does, so
+  /// modeled edge time stretches by that factor while the raw work
+  /// counters stay truthful. Thread safe (called from stream workers).
+  void add_kernel_cost(std::uint64_t edges, std::uint64_t vertices,
+                       std::uint64_t launches = 1,
+                       double imbalance = 1.0) {
+    // Effective (full-size-modeled) edge work, plus the occupancy-ramp
+    // term — see GpuModel::ramp_items.
+    const double we = static_cast<double>(edges) * workload_scale_ *
+                      id_scale_ * std::max(imbalance, 1.0);
+    const double ramp = we > 0 ? std::sqrt(we * model_.ramp_items) : 0.0;
+    const double seconds =
+        (we + ramp) / model_.edge_rate +
+        static_cast<double>(vertices) / model_.vertex_rate *
+            workload_scale_ +
+        static_cast<double>(launches) * model_.launch_overhead_s;
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.compute_s += seconds;
+    counters_.edges += edges;
+    counters_.vertices += vertices;
+    counters_.launches += launches;
+  }
+
+  /// Record a transfer this GPU pushed: modeled seconds, raw bytes,
+  /// communicated items (vertices, for H accounting).
+  void add_comm_cost(double seconds, std::uint64_t bytes,
+                     std::uint64_t items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.comm_s += seconds * id_scale_;
+    counters_.bytes_out += bytes;
+    counters_.items_out += items;
+  }
+
+  /// Snapshot and clear the per-iteration counters (called by the
+  /// enactor when it closes a BSP superstep).
+  IterationCounters harvest_iteration() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IterationCounters out = counters_;
+    counters_.clear();
+    return out;
+  }
+
+  /// Table V knob: scale traffic-bound costs for wider IDs.
+  void set_id_scale(double scale) { id_scale_ = scale; }
+
+  /// Workload-scale knob (see Machine::set_workload_scale): per-item
+  /// compute time is multiplied so a 1/k-scale analog graph models the
+  /// full-size dataset's W while launch/sync overheads stay fixed.
+  void set_workload_scale(double scale) { workload_scale_ = scale; }
+  double workload_scale() const noexcept { return workload_scale_; }
+
+  /// Wait for both streams to drain.
+  void synchronize() {
+    compute_stream_.synchronize();
+    comm_stream_.synchronize();
+  }
+
+ private:
+  int id_;
+  GpuModel model_;
+  MemoryManager memory_;
+  Stream compute_stream_;
+  Stream comm_stream_;
+  std::mutex mutex_;
+  IterationCounters counters_;
+  double id_scale_ = 1.0;
+  double workload_scale_ = 1.0;
+};
+
+}  // namespace mgg::vgpu

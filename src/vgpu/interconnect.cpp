@@ -1,0 +1,46 @@
+#include "vgpu/interconnect.hpp"
+
+#include "util/error.hpp"
+
+namespace mgg::vgpu {
+
+Interconnect::Interconnect(int num_devices, int peer_group_size,
+                           LinkParams peer, LinkParams cross, int node_size,
+                           LinkParams internode)
+    : num_devices_(num_devices),
+      peer_group_size_(peer_group_size),
+      peer_(peer),
+      cross_(cross),
+      node_size_(node_size),
+      internode_(internode) {
+  MGG_REQUIRE(num_devices >= 1, "interconnect needs at least one device");
+  MGG_REQUIRE(peer_group_size >= 1, "peer group size must be positive");
+  MGG_REQUIRE(node_size >= 0, "node size must be non-negative");
+}
+
+bool Interconnect::same_node(int src, int dst) const {
+  if (node_size_ <= 0) return true;  // single-node machine
+  return (src / node_size_) == (dst / node_size_);
+}
+
+bool Interconnect::is_peer(int src, int dst) const {
+  return same_node(src, dst) &&
+         (src / peer_group_size_) == (dst / peer_group_size_);
+}
+
+LinkParams Interconnect::link(int src, int dst) const {
+  if (!same_node(src, dst)) return internode_;
+  return is_peer(src, dst) ? peer_ : cross_;
+}
+
+double Interconnect::transfer_seconds(int src, int dst,
+                                      std::size_t bytes) const {
+  if (src == dst) return 0.0;
+  const LinkParams params = link(src, dst);
+  const double effective_bytes =
+      static_cast<double>(bytes) * volume_multiplier_;
+  return params.latency * latency_multiplier_ +
+         effective_bytes / params.bandwidth;
+}
+
+}  // namespace mgg::vgpu

@@ -1,0 +1,98 @@
+// Inter-GPU interconnect model.
+//
+// §V-A: on the paper's K40 node, enabling peer access within a PCIe 3
+// root hub raises GPU-GPU bandwidth from ~16 GB/s to ~20 GB/s and drops
+// latency from ~25 µs to ~7.5 µs; the experimental setup enables peer
+// access "in groups of 4 GPUs where appropriate". The interconnect
+// reproduces that topology and also exposes the fault-injection knobs
+// used by §V-A's experiments: artificially multiplying communication
+// volume and latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mgg::vgpu {
+
+struct LinkParams {
+  double bandwidth = 16e9;  ///< bytes/s
+  double latency = 25e-6;   ///< seconds per message
+
+  static LinkParams pcie_peer() { return {20e9, 7.5e-6}; }
+  static LinkParams pcie_host_routed() { return {16e9, 25e-6}; }
+  /// FDR InfiniBand-class node-to-node link (§VIII scale-out study):
+  /// markedly lower bandwidth and higher latency than intra-node PCIe.
+  static LinkParams infiniband() { return {6e9, 30e-6}; }
+};
+
+class Interconnect {
+ public:
+  /// `peer_group_size` devices share a root hub and get peer links;
+  /// traffic across hubs is routed through the host. When
+  /// `node_size > 0`, devices are additionally grouped into nodes of
+  /// that size and cross-node traffic uses the `internode` link —
+  /// the §VIII scale-out topology.
+  Interconnect(int num_devices, int peer_group_size = 4,
+               LinkParams peer = LinkParams::pcie_peer(),
+               LinkParams cross = LinkParams::pcie_host_routed(),
+               int node_size = 0,
+               LinkParams internode = LinkParams::infiniband());
+
+  int num_devices() const noexcept { return num_devices_; }
+  bool is_peer(int src, int dst) const;
+  bool same_node(int src, int dst) const;
+  LinkParams link(int src, int dst) const;
+
+  /// Modeled seconds to move `bytes` from src to dst, including the
+  /// §V-A injection multipliers.
+  double transfer_seconds(int src, int dst, std::size_t bytes) const;
+
+  /// §V-A fault injection: scale every transfer's volume (H) by `m`.
+  void set_volume_multiplier(double m) { volume_multiplier_ = m; }
+  double volume_multiplier() const { return volume_multiplier_; }
+
+  /// §V-A fault injection: scale message latency by `m` (the paper
+  /// tried 10x and saw no appreciable performance difference).
+  void set_latency_multiplier(double m) { latency_multiplier_ = m; }
+  double latency_multiplier() const { return latency_multiplier_; }
+
+  /// Cumulative raw (un-multiplied) bytes ever transferred.
+  std::uint64_t total_bytes() const {
+    return counters_->bytes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_messages() const {
+    return counters_->messages.load(std::memory_order_relaxed);
+  }
+  void record_transfer(std::size_t bytes) const {
+    counters_->bytes.fetch_add(bytes, std::memory_order_relaxed);
+    counters_->messages.fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset_counters() {
+    counters_->bytes.store(0, std::memory_order_relaxed);
+    counters_->messages.store(0, std::memory_order_relaxed);
+  }
+
+  Interconnect(Interconnect&&) = default;
+  Interconnect& operator=(Interconnect&&) = default;
+
+ private:
+  int num_devices_;
+  int peer_group_size_;
+  LinkParams peer_;
+  LinkParams cross_;
+  int node_size_;
+  LinkParams internode_;
+  double volume_multiplier_ = 1.0;
+  double latency_multiplier_ = 1.0;
+  /// Heap-held so the Interconnect (and Machine) stay movable despite
+  /// the atomics.
+  struct Counters {
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> messages{0};
+  };
+  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
+};
+
+}  // namespace mgg::vgpu

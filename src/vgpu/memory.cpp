@@ -1,0 +1,102 @@
+#include "vgpu/memory.hpp"
+
+#include "util/error.hpp"
+
+namespace mgg::vgpu {
+
+std::string to_string(AllocationScheme scheme) {
+  switch (scheme) {
+    case AllocationScheme::kJustEnough: return "just-enough";
+    case AllocationScheme::kFixedPrealloc: return "fixed";
+    case AllocationScheme::kMax: return "max";
+    case AllocationScheme::kPreallocFusion: return "prealloc+fusion";
+  }
+  return "unknown";
+}
+
+MemoryManager::MemoryManager(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void* MemoryManager::allocate(std::size_t bytes, std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ + bytes > capacity_) {
+      throw Error(Status::kOutOfMemory,
+                  "device memory exhausted allocating " +
+                      std::to_string(bytes) + " B for '" + std::string(name) +
+                      "' (in use " + std::to_string(current_) + " of " +
+                      std::to_string(capacity_) + " B)");
+    }
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+    ++alloc_count_;
+    auto& named = current_by_name_[std::string(name)];
+    named += bytes;
+    auto& named_peak = peak_by_name_[std::string(name)];
+    named_peak = std::max(named_peak, named);
+  }
+  return ::operator new(bytes);
+}
+
+void MemoryManager::deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+    // Per-name current counters can only be decremented approximately:
+    // Array1D frees carry size but not name. The peak map is the useful
+    // statistic and is monotone, so this is fine.
+  }
+  ::operator delete(ptr);
+}
+
+void MemoryManager::charge(std::size_t bytes, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ + bytes > capacity_) {
+    throw Error(Status::kOutOfMemory,
+                "device memory exhausted charging " + std::to_string(bytes) +
+                    " B for '" + std::string(name) + "' (in use " +
+                    std::to_string(current_) + " of " +
+                    std::to_string(capacity_) + " B)");
+  }
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+  auto& named = current_by_name_[std::string(name)];
+  named += bytes;
+  auto& named_peak = peak_by_name_[std::string(name)];
+  named_peak = std::max(named_peak, named);
+}
+
+void MemoryManager::uncharge(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+std::size_t MemoryManager::current_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::size_t MemoryManager::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::size_t MemoryManager::allocation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alloc_count_;
+}
+
+std::map<std::string, std::size_t> MemoryManager::peak_by_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_by_name_;
+}
+
+void MemoryManager::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peak_ = current_;
+  peak_by_name_ = current_by_name_;
+  alloc_count_ = 0;
+}
+
+}  // namespace mgg::vgpu

@@ -1,0 +1,68 @@
+// Per-device memory manager.
+//
+// Every util::Array1D a primitive allocates on a virtual GPU routes
+// through this manager, which (a) enforces the device's DRAM capacity —
+// exceeding it throws kOutOfMemory exactly like cudaMalloc failing —
+// and (b) records current/peak usage broken down by allocation name.
+// This accounting is what bench/fig3_memory uses to compare the four
+// allocation schemes of §VI-B.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/allocator.hpp"
+
+namespace mgg::vgpu {
+
+/// The frontier-buffer sizing policies compared in Fig. 3 (§VI-B).
+/// The policy is applied by core::Frontier when sizing its queues; the
+/// manager only accounts the result.
+enum class AllocationScheme {
+  kJustEnough,      ///< estimate, then reallocate on demand (the paper's)
+  kFixedPrealloc,   ///< sizing factors from previous runs of similar graphs
+  kMax,             ///< worst case: |E|-sized advance buffers
+  kPreallocFusion,  ///< fixed prealloc + fused advance-filter (§VI-C)
+};
+
+std::string to_string(AllocationScheme scheme);
+
+class MemoryManager final : public util::DeviceAllocator {
+ public:
+  explicit MemoryManager(std::size_t capacity_bytes);
+
+  /// DeviceAllocator interface; throws mgg::Error(kOutOfMemory) when the
+  /// allocation would exceed device capacity.
+  void* allocate(std::size_t bytes, std::string_view name) override;
+  void deallocate(void* ptr, std::size_t bytes) noexcept override;
+
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+  std::size_t current_bytes() const;
+  std::size_t peak_bytes() const;
+  std::size_t allocation_count() const;
+
+  /// Peak bytes ever held per allocation name.
+  std::map<std::string, std::size_t> peak_by_name() const;
+
+  /// Account `bytes` without obtaining host storage (used to charge
+  /// structures that live in host containers, e.g. the subgraph CSR a
+  /// real GPU would keep in DRAM). Throws kOutOfMemory like allocate().
+  void charge(std::size_t bytes, std::string_view name);
+  void uncharge(std::size_t bytes) noexcept;
+
+  /// Forget peak statistics (current usage is unaffected).
+  void reset_stats();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t alloc_count_ = 0;
+  std::map<std::string, std::size_t> current_by_name_;
+  std::map<std::string, std::size_t> peak_by_name_;
+};
+
+}  // namespace mgg::vgpu

@@ -1,0 +1,64 @@
+#include "vgpu/stats_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mgg::vgpu {
+
+std::string run_stats_to_json(const RunStats& stats,
+                              std::span<const IterationRecord> records) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("iterations").value(
+      static_cast<unsigned long long>(stats.iterations));
+  w.key("total_edges").value(
+      static_cast<unsigned long long>(stats.total_edges));
+  w.key("total_vertices").value(
+      static_cast<unsigned long long>(stats.total_vertices));
+  w.key("total_comm_items").value(
+      static_cast<unsigned long long>(stats.total_comm_items));
+  w.key("total_comm_bytes").value(
+      static_cast<unsigned long long>(stats.total_comm_bytes));
+  w.key("total_combine_items").value(
+      static_cast<unsigned long long>(stats.total_combine_items));
+  w.key("total_launches").value(
+      static_cast<unsigned long long>(stats.total_launches));
+  w.key("modeled_compute_s").value(stats.modeled_compute_s);
+  w.key("modeled_comm_s").value(stats.modeled_comm_s);
+  w.key("modeled_overhead_s").value(stats.modeled_overhead_s);
+  w.key("modeled_total_s").value(stats.modeled_total_s());
+  w.key("wall_s").value(stats.wall_s);
+  if (!records.empty()) {
+    w.key("iterations_detail").begin_array();
+    for (const auto& r : records) {
+      w.begin_object();
+      w.key("iteration").value(static_cast<unsigned long long>(r.iteration));
+      w.key("frontier").value(
+          static_cast<unsigned long long>(r.frontier_total));
+      w.key("edges").value(static_cast<unsigned long long>(r.edges));
+      w.key("comm_items").value(
+          static_cast<unsigned long long>(r.comm_items));
+      w.key("compute_s").value(r.compute_s);
+      w.key("comm_s").value(r.comm_s);
+      w.key("overhead_s").value(r.overhead_s);
+      w.key("gpu_imbalance").value(r.gpu_imbalance);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void save_run_stats_json(const std::string& path, const RunStats& stats,
+                         std::span<const IterationRecord> records) {
+  const std::string json = run_stats_to_json(stats, records);
+  std::ofstream out(path);
+  MGG_CHECK(out.good(), Status::kIoError, "cannot open " + path);
+  out << json;
+  MGG_CHECK(out.good(), Status::kIoError, "write failed for " + path);
+}
+
+}  // namespace mgg::vgpu

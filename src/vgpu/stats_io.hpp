@@ -1,0 +1,20 @@
+// JSON export of run statistics and per-iteration traces.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "vgpu/cost.hpp"
+
+namespace mgg::vgpu {
+
+/// Serialize a run's stats (and optionally its per-iteration records)
+/// to a JSON object string.
+std::string run_stats_to_json(const RunStats& stats,
+                              std::span<const IterationRecord> records = {});
+
+/// Convenience: write run_stats_to_json() to `path`.
+void save_run_stats_json(const std::string& path, const RunStats& stats,
+                         std::span<const IterationRecord> records = {});
+
+}  // namespace mgg::vgpu

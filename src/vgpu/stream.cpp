@@ -1,0 +1,70 @@
+#include "vgpu/stream.hpp"
+
+namespace mgg::vgpu {
+
+Stream::Stream(std::string name)
+    : name_(std::move(name)), worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Stream::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_.notify_all();
+}
+
+Event Stream::record_event() {
+  Event event;
+  submit([event]() mutable { event.fire(); });
+  return event;
+}
+
+void Stream::wait_event(Event event) {
+  submit([event] { event.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_error_) {
+    const std::exception_ptr error = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace mgg::vgpu

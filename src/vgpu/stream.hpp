@@ -1,0 +1,97 @@
+// Streams and events: the execution model of a virtual GPU.
+//
+// The paper (§III-B "Manage GPUs") overlaps computation and
+// communication by issuing them on separate cudaStreams and expressing
+// cross-GPU dependencies with cudaStreamWaitEvent, with no CPU
+// intervention. We reproduce that model: a Stream is an in-order task
+// queue drained by its own worker thread; an Event is a one-shot
+// broadcast flag; Stream::wait_event() enqueues a task that blocks the
+// stream (not the host) until the event fires.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mgg::vgpu {
+
+/// One-shot synchronization point, analogous to cudaEvent_t.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  void fire() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->fired = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->fired; });
+  }
+
+  bool query() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->fired;
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool fired = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// In-order asynchronous task queue, analogous to cudaStream_t.
+///
+/// submit() returns immediately; tasks run in submission order on the
+/// stream's worker thread. Exceptions thrown by tasks are captured and
+/// rethrown from synchronize() (mirroring how CUDA surfaces async
+/// errors on the next sync).
+class Stream {
+ public:
+  explicit Stream(std::string name = "stream");
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task. Never blocks the caller.
+  void submit(std::function<void()> task);
+
+  /// Enqueue an event that fires when all prior work completes.
+  Event record_event();
+
+  /// Enqueue a wait: later tasks on this stream run only after `event`
+  /// fires (cudaStreamWaitEvent).
+  void wait_event(Event event);
+
+  /// Block the calling (host) thread until the queue drains. Rethrows
+  /// the first captured task exception, if any.
+  void synchronize();
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::exception_ptr pending_error_;
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::thread worker_;
+};
+
+}  // namespace mgg::vgpu

@@ -1,0 +1,160 @@
+// Tests for the Frog-style async coloring engine and the Totem-style
+// hybrid CPU+GPU baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cpu_reference.hpp"
+#include "baselines/frog_async.hpp"
+#include "baselines/totem_hybrid.hpp"
+#include "test_support.hpp"
+
+namespace mgg {
+namespace {
+
+using test::first_connected_vertex;
+
+TEST(GreedyColor, ProperColoring) {
+  const auto g = test::small_rmat();
+  const auto color = baselines::greedy_color(g);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    for (const VertexT u : g.neighbors(v)) {
+      EXPECT_NE(color[v], color[u]) << "edge " << v << "-" << u;
+    }
+  }
+}
+
+TEST(GreedyColor, ColorCountBounded) {
+  // Greedy uses at most max_degree + 1 colors.
+  const auto g = test::small_rmat();
+  const auto color = baselines::greedy_color(g);
+  const int colors = *std::max_element(color.begin(), color.end()) + 1;
+  EXPECT_LE(colors, static_cast<int>(g.max_degree()) + 1);
+}
+
+TEST(FrogAsync, BfsMatchesOracle) {
+  const auto g = test::small_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto machine = test::test_machine(1);
+  const auto result = baselines::frog_async(g, "bfs", src, machine);
+  EXPECT_EQ(result.labels, baselines::cpu_bfs(g, src));
+  EXPECT_GT(result.num_colors, 1);
+}
+
+TEST(FrogAsync, SsspMatchesOracle) {
+  const auto g = test::small_weighted_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto machine = test::test_machine(1);
+  const auto result = baselines::frog_async(g, "sssp", src, machine);
+  const auto expected = baselines::cpu_sssp(g, src);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v]));
+    } else {
+      EXPECT_FLOAT_EQ(result.values[v], expected[v]);
+    }
+  }
+}
+
+TEST(FrogAsync, CcMatchesOracle) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(1);
+  const auto result = baselines::frog_async(g, "cc", 0, machine);
+  EXPECT_EQ(result.labels, baselines::cpu_cc(g));
+}
+
+TEST(FrogAsync, AsyncConvergesInFewerPassesThanLevels) {
+  // The async engine's per-pass propagation beats level-synchronous
+  // BFS on a chain: far fewer passes than the diameter.
+  const auto g = graph::build_undirected(graph::make_chain(256));
+  auto machine = test::test_machine(1);
+  const auto result = baselines::frog_async(g, "bfs", 0, machine);
+  // Level-synchronous BFS would need 255 passes; async propagation on
+  // the 2-colored chain moves ~2 levels per pass.
+  EXPECT_LT(result.stats.iterations, 160u);
+  EXPECT_EQ(result.labels[255], 255u);  // still exact depths
+}
+
+TEST(FrogAsync, EveryPassTouchesAllEdges) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(1);
+  const auto result =
+      baselines::frog_async(g, "bfs", first_connected_vertex(g), machine);
+  EXPECT_EQ(result.stats.total_edges,
+            result.stats.iterations * g.num_edges);
+}
+
+TEST(FrogAsync, PagerankNearFixpoint) {
+  // Gauss-Seidel PR converges to the same fixpoint as Jacobi; compare
+  // against a long Jacobi run.
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(1);
+  const auto result = baselines::frog_async(g, "pr", 0, machine, 40);
+  const auto expected = baselines::cpu_pagerank(g, 0.85f, 0.0f, 200);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_NEAR(result.values[v], expected[v],
+                0.05f * expected[v] + 1e-6f);
+  }
+}
+
+TEST(TotemHybrid, BfsMatchesOracle) {
+  const auto g = test::small_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto machine = test::test_machine(1);
+  const auto result = baselines::totem_hybrid(g, "bfs", src, machine);
+  EXPECT_EQ(result.labels, baselines::cpu_bfs(g, src));
+}
+
+TEST(TotemHybrid, SsspMatchesOracle) {
+  const auto g = test::small_weighted_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto machine = test::test_machine(1);
+  const auto result = baselines::totem_hybrid(g, "sssp", src, machine);
+  const auto expected = baselines::cpu_sssp(g, src);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (!std::isinf(expected[v])) {
+      EXPECT_FLOAT_EQ(result.values[v], expected[v]);
+    }
+  }
+}
+
+TEST(TotemHybrid, DegreeSplitPutsDenseCoreOnGpu) {
+  const auto g = test::small_rmat(9, 16);  // heavy power law
+  auto machine = test::test_machine(1);
+  const auto result =
+      baselines::totem_hybrid(g, "bfs", first_connected_vertex(g), machine,
+                              /*gpu_edge_budget=*/0.8);
+  // 80% of the edges on the GPU should need far fewer than 80% of the
+  // vertices (the power-law core is dense).
+  EXPECT_NEAR(result.gpu_edge_fraction, 0.8, 0.05);
+  EXPECT_LT(result.gpu_vertices, g.num_vertices / 2);
+}
+
+TEST(TotemHybrid, RejectsNonNeighborAlgorithms) {
+  // The generality critique: CC's pointer jumping is beyond Totem's
+  // direct-neighbor model.
+  const auto g = test::small_rmat(6, 4);
+  auto machine = test::test_machine(1);
+  EXPECT_THROW(baselines::totem_hybrid(g, "cc", 0, machine), Error);
+}
+
+TEST(TotemHybrid, SmallerGpuBudgetShiftsWorkToCpu) {
+  const auto g = test::small_rmat(9, 8);
+  const VertexT src = first_connected_vertex(g);
+  auto m1 = test::test_machine(1);
+  auto m2 = test::test_machine(1);
+  // Model a full-size workload: at tiny scale the GPU ramp term, not
+  // throughput, dominates and hides the CPU bottleneck.
+  m1.set_workload_scale(512);
+  m2.set_workload_scale(512);
+  const auto mostly_gpu =
+      baselines::totem_hybrid(g, "pr", src, m1, 0.95, 10);
+  const auto mostly_cpu =
+      baselines::totem_hybrid(g, "pr", src, m2, 0.1, 10);
+  // More CPU work = slower supersteps (CPU edge rate is ~10x lower).
+  EXPECT_GT(mostly_cpu.stats.modeled_compute_s,
+            mostly_gpu.stats.modeled_compute_s * 2);
+}
+
+}  // namespace
+}  // namespace mgg

@@ -1,0 +1,66 @@
+// Tests for the §VIII multi-node cluster topology.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "vgpu/interconnect.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg {
+namespace {
+
+TEST(Cluster, NodeMembershipAndLinks) {
+  // 2 nodes x 4 GPUs: devices 0-3 on node 0, 4-7 on node 1.
+  vgpu::Interconnect net(8, /*peer_group_size=*/4,
+                         vgpu::LinkParams::pcie_peer(),
+                         vgpu::LinkParams::pcie_host_routed(),
+                         /*node_size=*/4);
+  EXPECT_TRUE(net.same_node(0, 3));
+  EXPECT_FALSE(net.same_node(3, 4));
+  EXPECT_TRUE(net.is_peer(0, 3));
+  EXPECT_FALSE(net.is_peer(0, 4));  // different node: never peer
+  // Cross-node link is the InfiniBand-class one.
+  const auto internode = net.link(0, 5);
+  EXPECT_DOUBLE_EQ(internode.bandwidth,
+                   vgpu::LinkParams::infiniband().bandwidth);
+  EXPECT_GT(net.link(0, 1).bandwidth, internode.bandwidth);
+  EXPECT_LT(net.link(0, 1).latency, internode.latency);
+}
+
+TEST(Cluster, SingleNodeHasNoNodeBoundaries) {
+  vgpu::Interconnect net(8, 4);  // node_size 0: one big node
+  EXPECT_TRUE(net.same_node(0, 7));
+  // Cross-hub traffic is host-routed, not InfiniBand.
+  EXPECT_DOUBLE_EQ(net.link(0, 7).bandwidth,
+                   vgpu::LinkParams::pcie_host_routed().bandwidth);
+}
+
+TEST(Cluster, FactoryShapesMachine) {
+  auto cluster = vgpu::Machine::create_cluster("k40", 2, 3);
+  EXPECT_EQ(cluster.num_devices(), 6);
+  EXPECT_FALSE(cluster.interconnect().same_node(1, 2));
+  EXPECT_TRUE(cluster.interconnect().same_node(4, 5));
+  EXPECT_THROW(vgpu::Machine::create_cluster("k40", 0, 2), Error);
+}
+
+TEST(Cluster, CrossNodeTransfersCostMore) {
+  auto cluster = vgpu::Machine::create_cluster("k40", 4, 2);
+  const auto& net = cluster.interconnect();
+  const std::size_t bytes = 1 << 24;
+  EXPECT_GT(net.transfer_seconds(0, 4, bytes),
+            2 * net.transfer_seconds(0, 1, bytes));
+}
+
+TEST(Cluster, PeerGroupsNestInsideNodes) {
+  // 8-GPU nodes contain two peer groups of 4 each.
+  vgpu::Interconnect net(16, 4, vgpu::LinkParams::pcie_peer(),
+                         vgpu::LinkParams::pcie_host_routed(), 8);
+  EXPECT_TRUE(net.is_peer(0, 3));
+  EXPECT_FALSE(net.is_peer(3, 4));   // same node, different hub
+  EXPECT_TRUE(net.same_node(3, 4));  // host-routed
+  EXPECT_DOUBLE_EQ(net.link(3, 4).bandwidth,
+                   vgpu::LinkParams::pcie_host_routed().bandwidth);
+  EXPECT_FALSE(net.same_node(7, 8));
+}
+
+}  // namespace
+}  // namespace mgg

@@ -1,0 +1,121 @@
+// Direction-optimizing BFS: same answers as plain BFS/CPU, plus checks
+// of the §VI-A switching machinery.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_reference.hpp"
+#include "primitives/dobfs.hpp"
+#include "test_support.hpp"
+
+namespace mgg {
+namespace {
+
+using test::config_for;
+using test::first_connected_vertex;
+using test::test_machine;
+
+void expect_dobfs_matches_cpu(const graph::Graph& g, VertexT src,
+                              core::Config cfg,
+                              prim::DobfsOptions options = {}) {
+  auto machine = test_machine(cfg.num_gpus);
+  const auto result = prim::run_dobfs(g, src, machine, cfg, options);
+  const auto expected = baselines::cpu_bfs(g, src);
+  ASSERT_EQ(result.labels.size(), expected.size());
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(result.labels[v], expected[v]) << "vertex " << v;
+  }
+}
+
+class DobfsGpuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DobfsGpuSweep, RmatMatchesCpu) {
+  const auto g = test::small_rmat();
+  expect_dobfs_matches_cpu(g, first_connected_vertex(g),
+                           config_for(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, DobfsGpuSweep,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Dobfs, SwitchesToBackwardOnDenseGraph) {
+  // A dense power-law graph with a huge second level triggers the
+  // forward->backward switch under the default do_a.
+  const auto g = test::small_rmat(/*scale=*/9, /*edge_factor=*/16);
+  auto machine = test_machine(2);
+  auto result = prim::run_dobfs(g, first_connected_vertex(g), machine,
+                                config_for(2));
+  EXPECT_GE(result.direction_switches, 1);
+  // And the labels are still right.
+  const auto expected = baselines::cpu_bfs(g, first_connected_vertex(g));
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(result.labels[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(Dobfs, NeverSwitchesWithZeroDoA) {
+  // do_a = infinite threshold keeps it in pure forward mode — results
+  // must be identical to BFS.
+  prim::DobfsOptions options;
+  options.do_a = 1e18;
+  const auto g = test::small_rmat();
+  auto machine = test_machine(3);
+  auto result = prim::run_dobfs(g, first_connected_vertex(g), machine,
+                                config_for(3), options);
+  EXPECT_EQ(result.direction_switches, 0);
+  const auto expected = baselines::cpu_bfs(g, first_connected_vertex(g));
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(result.labels[v], expected[v]);
+  }
+}
+
+TEST(Dobfs, ImmediateSwitchStillCorrect) {
+  // do_a = 0 forces the switch at the first opportunity; edge-skipping
+  // pull traversal must still produce exact BFS depths.
+  prim::DobfsOptions options;
+  options.do_a = 0.0;
+  options.do_b = 0.0;  // never switch back
+  const auto g = test::small_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto machine = test_machine(2);
+  auto result = prim::run_dobfs(g, src, machine, config_for(2), options);
+  EXPECT_GE(result.direction_switches, 1);
+  const auto expected = baselines::cpu_bfs(g, src);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(result.labels[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(Dobfs, PullSkipsEdges) {
+  // On a dense graph, a backward-switched run should charge fewer edge
+  // work items than the full forward |E| scan would (edge skipping).
+  const auto g = test::small_rmat(9, 16);
+  const VertexT src = first_connected_vertex(g);
+  auto machine1 = test_machine(1);
+
+  prim::DobfsOptions forward_only;
+  forward_only.do_a = 1e18;
+  const auto fwd =
+      prim::run_dobfs(g, src, machine1, config_for(1), forward_only);
+
+  auto machine2 = test_machine(1);
+  const auto dobfs = prim::run_dobfs(g, src, machine2, config_for(1));
+  EXPECT_LT(dobfs.stats.total_edges, fwd.stats.total_edges);
+}
+
+TEST(Dobfs, PredecessorsValid) {
+  const auto g = test::small_rmat();
+  const VertexT src = first_connected_vertex(g);
+  auto cfg = config_for(2);
+  cfg.mark_predecessors = true;
+  auto machine = test_machine(2);
+  const auto result = prim::run_dobfs(g, src, machine, cfg);
+  const auto depth = baselines::cpu_bfs(g, src);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (v == src || depth[v] == kInvalidVertex) continue;
+    const VertexT p = result.preds[v];
+    ASSERT_NE(p, kInvalidVertex) << "vertex " << v;
+    EXPECT_EQ(depth[p] + 1, depth[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mgg

@@ -1,0 +1,88 @@
+// Tests for the JSON writer and run-stats export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "primitives/bfs.hpp"
+#include "test_support.hpp"
+#include "util/json.hpp"
+#include "vgpu/stats_io.hpp"
+
+namespace mgg {
+namespace {
+
+TEST(Json, ObjectsArraysAndCommas) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1ll);
+  w.key("b").begin_array();
+  w.value(1.5).value("x").value(true);
+  w.end_array();
+  w.key("c").begin_object();
+  w.key("nested").value(2ll);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1.5,"x",true],"c":{"nested":2}})");
+}
+
+TEST(Json, EscapesSpecials) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("quote\"back\\slash").value("line\nbreak\ttab");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"quote\\\"back\\\\slash\":\"line\\nbreak\\ttab\"}");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  util::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, SaveAndReload) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("x").value(42ll);
+  w.end_object();
+  const std::string path = "/tmp/mgg_json_test.json";
+  w.save(path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, R"({"x":42})");
+}
+
+TEST(StatsIo, RunStatsExportContainsEverything) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(3);
+  core::Config cfg;
+  cfg.num_gpus = 3;
+  prim::BfsProblem problem;
+  problem.init(g, machine, cfg);
+  prim::BfsEnactor enactor(problem);
+  enactor.reset(test::first_connected_vertex(g));
+  const auto stats = enactor.enact();
+
+  const std::string json =
+      vgpu::run_stats_to_json(stats, enactor.iteration_records());
+  EXPECT_NE(json.find("\"iterations\":" + std::to_string(stats.iterations)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"modeled_total_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations_detail\":["), std::string::npos);
+  // One detail object per superstep.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"frontier\":", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, stats.iterations);
+}
+
+}  // namespace
+}  // namespace mgg

@@ -1,0 +1,191 @@
+// Paper-shape invariants as regression tests: the qualitative claims
+// the reproduction stands on (EXPERIMENTS.md), pinned down so a model
+// or framework change that silently breaks a conclusion fails CI.
+#include <gtest/gtest.h>
+
+#include "primitives/bfs.hpp"
+#include "primitives/cc.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+#include "test_support.hpp"
+
+namespace mgg {
+namespace {
+
+using test::config_for;
+using test::first_connected_vertex;
+
+double modeled_ms(const vgpu::RunStats& stats) {
+  return stats.modeled_total_s() * 1e3;
+}
+
+vgpu::Machine scaled_machine(int gpus, double scale = 512) {
+  auto machine = test::test_machine(gpus);
+  machine.set_workload_scale(scale);
+  return machine;
+}
+
+// --- Fig. 4 / Fig. 5 shapes -------------------------------------------
+
+TEST(PaperShape, BfsStrongScalingPositive) {
+  const auto g = test::small_rmat(10, 16);
+  const VertexT src = first_connected_vertex(g);
+  // Model a paper-sized workload: at small scales overhead dominates
+  // and scaling flattens for *every* primitive, which is §VII-A, not
+  // the Fig. 4 regime this test pins.
+  auto m1 = scaled_machine(1, 4096);
+  auto m6 = scaled_machine(6, 4096);
+  const auto one = prim::run_bfs(g, src, m1, config_for(1));
+  const auto six = prim::run_bfs(g, src, m6, config_for(6));
+  const double speedup = modeled_ms(one.stats) / modeled_ms(six.stats);
+  EXPECT_GT(speedup, 2.0) << "BFS lost its multi-GPU scaling";
+  EXPECT_LT(speedup, 6.0) << "superlinear scaling is a model bug";
+}
+
+TEST(PaperShape, DobfsScalingFlat) {
+  const auto g = test::small_rmat(10, 16);
+  const VertexT src = first_connected_vertex(g);
+  auto m1 = scaled_machine(1);
+  auto m6 = scaled_machine(6);
+  core::Config c1 = config_for(1), c6 = config_for(6);
+  const auto one = prim::run_dobfs(g, src, m1, c1);
+  const auto six = prim::run_dobfs(g, src, m6, c6);
+  const double speedup = modeled_ms(one.stats) / modeled_ms(six.stats);
+  // "The performance curve of DOBFS mostly stays flat."
+  EXPECT_LT(speedup, 2.0);
+}
+
+TEST(PaperShape, DobfsBeatsBfsOnPowerLaw) {
+  const auto g = test::small_rmat(10, 16);
+  const VertexT src = first_connected_vertex(g);
+  auto m1 = scaled_machine(1);
+  auto m2 = scaled_machine(1);
+  const auto bfs = prim::run_bfs(g, src, m1, config_for(1));
+  const auto dobfs = prim::run_dobfs(g, src, m2, config_for(1));
+  EXPECT_LT(modeled_ms(dobfs.stats), modeled_ms(bfs.stats) / 2)
+      << "edge skipping stopped paying off";
+}
+
+TEST(PaperShape, PagerankScalesBetterThanDobfs) {
+  const auto g = test::small_rmat(10, 16);
+  auto pm1 = scaled_machine(1);
+  auto pm6 = scaled_machine(6);
+  prim::PagerankOptions options;
+  options.max_iterations = 10;
+  const auto pr1 =
+      prim::run_pagerank(g, pm1, config_for(1), options);
+  const auto pr6 =
+      prim::run_pagerank(g, pm6, config_for(6), options);
+  const double pr_speedup = modeled_ms(pr1.stats) / modeled_ms(pr6.stats);
+
+  const VertexT src = first_connected_vertex(g);
+  auto dm1 = scaled_machine(1);
+  auto dm6 = scaled_machine(6);
+  const auto do1 = prim::run_dobfs(g, src, dm1, config_for(1));
+  const auto do6 = prim::run_dobfs(g, src, dm6, config_for(6));
+  const double dobfs_speedup =
+      modeled_ms(do1.stats) / modeled_ms(do6.stats);
+
+  EXPECT_GT(pr_speedup, 1.5 * dobfs_speedup);
+}
+
+// --- §V shapes ----------------------------------------------------------
+
+TEST(PaperShape, DobfsCommVolumeDominatesItsCompute) {
+  // Table I: DOBFS's H = O((n-1)|V|) is on the same scale as its W —
+  // the root of its flat scaling. Compare H items vs edge work.
+  const auto g = test::small_rmat(10, 16);
+  const VertexT src = first_connected_vertex(g);
+  auto m = scaled_machine(4);
+  const auto dobfs = prim::run_dobfs(g, src, m, config_for(4));
+  EXPECT_GT(dobfs.stats.total_comm_items, dobfs.stats.total_edges / 4)
+      << "DOBFS communication should rival its (skipped) edge work";
+
+  auto m2 = scaled_machine(4);
+  const auto bfs = prim::run_bfs(g, src, m2, config_for(4));
+  EXPECT_LT(bfs.stats.total_comm_items, bfs.stats.total_edges / 10)
+      << "BFS communication should be far below its edge work";
+}
+
+TEST(PaperShape, RuntimeLinearInInjectedVolume) {
+  const auto g = test::small_rmat(9, 8);
+  const VertexT src = first_connected_vertex(g);
+  std::vector<double> times;
+  for (const double mult : {1.0, 4.0, 7.0}) {
+    auto machine = scaled_machine(4);
+    machine.interconnect().set_volume_multiplier(
+        machine.interconnect().volume_multiplier() * mult);
+    const auto run = prim::run_bfs(g, src, machine, config_for(4));
+    times.push_back(run.stats.modeled_total_s());
+  }
+  // Linearity: equal increments in the multiplier give ~equal time
+  // increments (within 20%).
+  const double d1 = times[1] - times[0];
+  const double d2 = times[2] - times[1];
+  ASSERT_GT(d1, 0);
+  EXPECT_NEAR(d2 / d1, 1.0, 0.2);
+}
+
+TEST(PaperShape, TenXLatencyImmaterial) {
+  // At paper scale, transfer time is bandwidth-bound, so latency x10
+  // disappears; tiny transfers would make it visible.
+  const auto g = test::small_rmat(9, 8);
+  const VertexT src = first_connected_vertex(g);
+  auto base_machine = scaled_machine(4, 4096);
+  const auto base = prim::run_bfs(g, src, base_machine, config_for(4));
+  auto slow_machine = scaled_machine(4, 4096);
+  slow_machine.interconnect().set_latency_multiplier(10.0);
+  const auto slow = prim::run_bfs(g, src, slow_machine, config_for(4));
+  EXPECT_LT(slow.stats.modeled_total_s(),
+            1.1 * base.stats.modeled_total_s());
+}
+
+// --- §VI shapes ---------------------------------------------------------
+
+TEST(PaperShape, JustEnoughUsesLeastMemoryMaxUsesMost) {
+  const auto g = test::small_rmat(10, 16);
+  const VertexT src = first_connected_vertex(g);
+  auto peak_for = [&](vgpu::AllocationScheme scheme) {
+    auto machine = test::test_machine(2);
+    auto cfg = config_for(2);
+    cfg.scheme = scheme;
+    prim::BfsProblem problem;
+    problem.init(g, machine, cfg);
+    prim::BfsEnactor enactor(problem);
+    enactor.reset(src);
+    enactor.enact();
+    std::size_t peak = 0;
+    for (int gpu = 0; gpu < 2; ++gpu) {
+      peak += machine.device(gpu).memory().peak_bytes();
+    }
+    return peak;
+  };
+  const auto just_enough = peak_for(vgpu::AllocationScheme::kJustEnough);
+  const auto fusion = peak_for(vgpu::AllocationScheme::kPreallocFusion);
+  const auto fixed = peak_for(vgpu::AllocationScheme::kFixedPrealloc);
+  const auto max = peak_for(vgpu::AllocationScheme::kMax);
+  EXPECT_LE(just_enough, fusion);
+  EXPECT_LT(fusion, fixed);
+  EXPECT_LT(fixed, max);
+}
+
+TEST(PaperShape, RoadNetworksDegradeOnMultiGpu) {
+  const auto g = test::small_grid(48, 48);
+  auto m1 = scaled_machine(1, 16);
+  auto m4 = scaled_machine(4, 16);
+  const auto one = prim::run_bfs(g, 0, m1, config_for(1));
+  const auto four = prim::run_bfs(g, 0, m4, config_for(4));
+  EXPECT_LT(modeled_ms(one.stats), modeled_ms(four.stats))
+      << "§VII-A: road networks should be slower on mGPU";
+}
+
+TEST(PaperShape, CcConvergesInFewIterations) {
+  // Table I: S in 2-5 for CC on power-law graphs.
+  const auto g = test::small_rmat(10, 16);
+  auto machine = test::test_machine(4);
+  const auto cc = prim::run_cc(g, machine, config_for(4));
+  EXPECT_LE(cc.stats.iterations, 6u);
+}
+
+}  // namespace
+}  // namespace mgg

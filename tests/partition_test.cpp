@@ -1,0 +1,217 @@
+// Unit tests for partitioners and the PartitionedGraph builder.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "partition/partitioned_graph.hpp"
+#include "partition/partitioner.hpp"
+#include "test_support.hpp"
+
+namespace mgg {
+namespace {
+
+using part::Duplication;
+using part::PartitionedGraph;
+
+void expect_valid_assignment(const std::vector<int>& a, int parts) {
+  for (const int p : a) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, parts);
+  }
+}
+
+class PartitionerSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PartitionerSweep, ProducesValidDeterministicAssignment) {
+  const auto g = test::small_rmat();
+  const auto partitioner = part::make_partitioner(GetParam());
+  const auto a = partitioner->assign(g, 4, 7);
+  EXPECT_EQ(a.size(), g.num_vertices);
+  expect_valid_assignment(a, 4);
+  // Deterministic in seed.
+  EXPECT_EQ(a, partitioner->assign(g, 4, 7));
+}
+
+TEST_P(PartitionerSweep, SinglePartIsTrivial) {
+  const auto g = test::small_rmat(6, 4);
+  const auto a = part::make_partitioner(GetParam())->assign(g, 1, 7);
+  for (const int p : a) EXPECT_EQ(p, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PartitionerSweep,
+                         ::testing::Values("random", "biasrandom", "metis",
+                                           "chunk"));
+
+TEST(Partitioner, UnknownNameThrows) {
+  EXPECT_THROW(part::make_partitioner("kahip"), Error);
+}
+
+TEST(Partitioner, RandomIsBalanced) {
+  const auto g = test::small_rmat(10, 8);
+  const auto a = part::RandomPartitioner().assign(g, 4, 3);
+  const auto m = part::measure_partition(g, a, 4);
+  EXPECT_LT(m.vertex_imbalance, 1.1);
+}
+
+TEST(Partitioner, MetisCutsFewerEdgesOnStructuredGraphs) {
+  // On a grid, a locality-aware partitioner must beat random edge cut.
+  const auto g = test::small_grid(30, 30);
+  const auto random = part::RandomPartitioner().assign(g, 4, 3);
+  const auto metis = part::MetisLikePartitioner().assign(g, 4, 3);
+  const auto m_random = part::measure_partition(g, random, 4);
+  const auto m_metis = part::measure_partition(g, metis, 4);
+  EXPECT_LT(m_metis.edge_cut, m_random.edge_cut / 2);
+}
+
+TEST(Partitioner, ChunkKeepsContiguity) {
+  const auto g = test::small_rmat(8, 4);
+  const auto a = part::ChunkPartitioner().assign(g, 3, 0);
+  for (std::size_t v = 1; v < a.size(); ++v) {
+    EXPECT_GE(a[v], a[v - 1]) << "chunk assignment must be monotone";
+  }
+}
+
+TEST(Partitioner, BorderCountsDistinctVertices) {
+  // Star: center on part 0, leaves on part 1. Part 0's border is the
+  // leaf set; part 1's border is just the center (counted once,
+  // despite many cut edges — the paper's key |B_i| vs edge-cut point).
+  graph::GraphCoo coo;
+  coo.num_vertices = 9;
+  for (VertexT v = 1; v < 9; ++v) coo.add_edge(0, v);
+  const auto g = graph::build_undirected(std::move(coo));
+  std::vector<int> a(9, 1);
+  a[0] = 0;
+  const auto m = part::measure_partition(g, a, 2);
+  EXPECT_EQ(m.edge_cut, 16u);      // 8 edges, both directions
+  EXPECT_EQ(m.border_out[0], 8u);  // center borders all leaves
+  EXPECT_EQ(m.border_out[1], 1u);  // leaves border only the center
+}
+
+class DuplicationSweep : public ::testing::TestWithParam<Duplication> {};
+
+TEST_P(DuplicationSweep, SubgraphsPreserveEveryEdge) {
+  const auto g = test::small_rmat();
+  const auto a = part::RandomPartitioner().assign(g, 3, 5);
+  const auto pg = PartitionedGraph::build(g, a, 3, GetParam());
+
+  SizeT total_edges = 0;
+  for (int p = 0; p < 3; ++p) total_edges += pg.sub(p).csr.num_edges;
+  EXPECT_EQ(total_edges, g.num_edges);
+
+  // Every original edge appears in the owner's subgraph with correctly
+  // mapped endpoints.
+  for (VertexT u = 0; u < g.num_vertices; ++u) {
+    const int owner = pg.owner_of(u);
+    const auto& sub = pg.sub(owner);
+    // Find u's local id.
+    VertexT lu = kInvalidVertex;
+    for (VertexT lv = 0; lv < sub.num_total(); ++lv) {
+      if (sub.local_to_global[lv] == u) {
+        lu = lv;
+        break;
+      }
+    }
+    ASSERT_NE(lu, kInvalidVertex);
+    ASSERT_EQ(sub.csr.degree(lu), g.degree(u));
+    std::multiset<VertexT> expected(g.neighbors(u).begin(),
+                                    g.neighbors(u).end());
+    std::multiset<VertexT> actual;
+    for (const VertexT lv : sub.csr.neighbors(lu)) {
+      actual.insert(sub.local_to_global[lv]);
+    }
+    EXPECT_EQ(actual, expected) << "vertex " << u;
+  }
+}
+
+TEST_P(DuplicationSweep, ProxiesHaveNoOutEdges) {
+  const auto g = test::small_rmat(7, 4);
+  const auto a = part::RandomPartitioner().assign(g, 4, 5);
+  const auto pg = PartitionedGraph::build(g, a, 4, GetParam());
+  for (int p = 0; p < 4; ++p) {
+    const auto& sub = pg.sub(p);
+    for (VertexT lv = 0; lv < sub.num_total(); ++lv) {
+      if (!sub.is_hosted(lv)) {
+        EXPECT_EQ(sub.csr.degree(lv), 0u);
+      }
+    }
+  }
+}
+
+TEST_P(DuplicationSweep, HostLocalIdsRoundTrip) {
+  const auto g = test::small_rmat(7, 4);
+  const auto a = part::RandomPartitioner().assign(g, 3, 9);
+  const auto pg = PartitionedGraph::build(g, a, 3, GetParam());
+  for (int p = 0; p < 3; ++p) {
+    const auto& sub = pg.sub(p);
+    for (VertexT lv = 0; lv < sub.num_total(); ++lv) {
+      const VertexT gv = sub.local_to_global[lv];
+      const int owner = sub.owner[lv];
+      EXPECT_EQ(owner, pg.owner_of(gv));
+      // The advertised host-local ID maps back to the same global
+      // vertex on the owner.
+      const VertexT host_lv = sub.host_local_id[lv];
+      EXPECT_EQ(pg.sub(owner).local_to_global[host_lv], gv);
+      EXPECT_EQ(pg.host_local_of(gv), host_lv);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, DuplicationSweep,
+                         ::testing::Values(Duplication::kOneHop,
+                                           Duplication::kAll));
+
+TEST(PartitionedGraph, DuplicateAllUsesGlobalIds) {
+  const auto g = test::small_rmat(6, 4);
+  const auto a = part::RandomPartitioner().assign(g, 2, 1);
+  const auto pg = PartitionedGraph::build(g, a, 2, Duplication::kAll);
+  for (int p = 0; p < 2; ++p) {
+    const auto& sub = pg.sub(p);
+    EXPECT_EQ(sub.num_total(), g.num_vertices);
+    for (VertexT v = 0; v < sub.num_total(); ++v) {
+      EXPECT_EQ(sub.local_to_global[v], v);
+      EXPECT_EQ(sub.host_local_id[v], v);
+    }
+  }
+}
+
+TEST(PartitionedGraph, OneHopHostedAreContiguousFirst) {
+  const auto g = test::small_rmat(6, 4);
+  const auto a = part::RandomPartitioner().assign(g, 3, 1);
+  const auto pg = PartitionedGraph::build(g, a, 3, Duplication::kOneHop);
+  for (int p = 0; p < 3; ++p) {
+    const auto& sub = pg.sub(p);
+    for (VertexT lv = 0; lv < sub.num_total(); ++lv) {
+      EXPECT_EQ(sub.is_hosted(lv), lv < sub.num_local);
+    }
+    // One-hop keeps far fewer vertices than duplicate-all would.
+    EXPECT_LE(sub.num_total(), g.num_vertices);
+  }
+}
+
+TEST(PartitionedGraph, BorderMatchesMeasuredMetrics) {
+  const auto g = test::small_rmat(7, 4);
+  const auto a = part::RandomPartitioner().assign(g, 3, 2);
+  const auto pg = PartitionedGraph::build(g, a, 3, Duplication::kOneHop);
+  const auto m = part::measure_partition(g, a, 3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(pg.border_total(p), m.border_out[p]);
+    // One-hop proxies on p are exactly its outgoing border.
+    EXPECT_EQ(pg.sub(p).num_total() - pg.sub(p).num_local,
+              m.border_out[p]);
+  }
+}
+
+TEST(PartitionedGraph, RejectsBadInput) {
+  const auto g = test::small_rmat(6, 4);
+  std::vector<int> wrong_size(10, 0);
+  EXPECT_THROW(PartitionedGraph::build(g, wrong_size, 2, Duplication::kAll),
+               Error);
+  std::vector<int> out_of_range(g.num_vertices, 5);
+  EXPECT_THROW(
+      PartitionedGraph::build(g, out_of_range, 2, Duplication::kAll),
+      Error);
+}
+
+}  // namespace
+}  // namespace mgg

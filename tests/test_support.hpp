@@ -1,0 +1,54 @@
+// Shared fixtures/helpers for the MGG test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "vgpu/machine.hpp"
+
+namespace mgg::test {
+
+/// Small deterministic graphs reused across suites.
+inline graph::Graph small_rmat(int scale = 8, double edge_factor = 8,
+                               std::uint64_t seed = 7) {
+  return graph::build_undirected(
+      graph::make_rmat(scale, edge_factor, graph::RmatParams::gtgraph(),
+                       seed));
+}
+
+inline graph::Graph small_weighted_rmat(int scale = 8, double edge_factor = 8,
+                                        std::uint64_t seed = 7) {
+  auto coo = graph::make_rmat(scale, edge_factor,
+                              graph::RmatParams::gtgraph(), seed);
+  graph::assign_random_weights(coo, 1, 64, seed ^ 0x99);
+  return graph::build_undirected(std::move(coo));
+}
+
+inline graph::Graph small_grid(VertexT w = 24, VertexT h = 24,
+                               std::uint64_t seed = 3) {
+  return graph::build_undirected(graph::make_road_grid(w, h, 0.05, seed));
+}
+
+/// A machine with plenty of devices for tests.
+inline vgpu::Machine test_machine(int gpus = 4) {
+  return vgpu::Machine::create("k40", gpus);
+}
+
+/// Config helper: `gpus` GPUs, everything else defaulted.
+inline core::Config config_for(int gpus) {
+  core::Config cfg;
+  cfg.num_gpus = gpus;
+  return cfg;
+}
+
+/// First vertex with nonzero degree (a safe traversal source).
+inline VertexT first_connected_vertex(const graph::Graph& g) {
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (g.degree(v) > 0) return v;
+  }
+  return 0;
+}
+
+}  // namespace mgg::test
