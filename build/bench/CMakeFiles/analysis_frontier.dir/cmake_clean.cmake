@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_frontier.dir/analysis_frontier.cpp.o"
+  "CMakeFiles/analysis_frontier.dir/analysis_frontier.cpp.o.d"
+  "CMakeFiles/analysis_frontier.dir/bench_support.cpp.o"
+  "CMakeFiles/analysis_frontier.dir/bench_support.cpp.o.d"
+  "analysis_frontier"
+  "analysis_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_partitioners.dir/bench_support.cpp.o"
+  "CMakeFiles/fig2_partitioners.dir/bench_support.cpp.o.d"
+  "CMakeFiles/fig2_partitioners.dir/fig2_partitioners.cpp.o"
+  "CMakeFiles/fig2_partitioners.dir/fig2_partitioners.cpp.o.d"
+  "fig2_partitioners"
+  "fig2_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

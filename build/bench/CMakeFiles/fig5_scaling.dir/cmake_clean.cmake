@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaling.dir/bench_support.cpp.o"
+  "CMakeFiles/fig5_scaling.dir/bench_support.cpp.o.d"
+  "CMakeFiles/fig5_scaling.dir/fig5_scaling.cpp.o"
+  "CMakeFiles/fig5_scaling.dir/fig5_scaling.cpp.o.d"
+  "fig5_scaling"
+  "fig5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_graph_types.dir/bench_support.cpp.o"
+  "CMakeFiles/fig6_graph_types.dir/bench_support.cpp.o.d"
+  "CMakeFiles/fig6_graph_types.dir/fig6_graph_types.cpp.o"
+  "CMakeFiles/fig6_graph_types.dir/fig6_graph_types.cpp.o.d"
+  "fig6_graph_types"
+  "fig6_graph_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_graph_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

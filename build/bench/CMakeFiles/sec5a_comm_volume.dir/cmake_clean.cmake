@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5a_comm_volume.dir/bench_support.cpp.o"
+  "CMakeFiles/sec5a_comm_volume.dir/bench_support.cpp.o.d"
+  "CMakeFiles/sec5a_comm_volume.dir/sec5a_comm_volume.cpp.o"
+  "CMakeFiles/sec5a_comm_volume.dir/sec5a_comm_volume.cpp.o.d"
+  "sec5a_comm_volume"
+  "sec5a_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5a_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5b_sync_latency.dir/bench_support.cpp.o"
+  "CMakeFiles/sec5b_sync_latency.dir/bench_support.cpp.o.d"
+  "CMakeFiles/sec5b_sync_latency.dir/sec5b_sync_latency.cpp.o"
+  "CMakeFiles/sec5b_sync_latency.dir/sec5b_sync_latency.cpp.o.d"
+  "sec5b_sync_latency"
+  "sec5b_sync_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5b_sync_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6a_direction_sweep.dir/bench_support.cpp.o"
+  "CMakeFiles/sec6a_direction_sweep.dir/bench_support.cpp.o.d"
+  "CMakeFiles/sec6a_direction_sweep.dir/sec6a_direction_sweep.cpp.o"
+  "CMakeFiles/sec6a_direction_sweep.dir/sec6a_direction_sweep.cpp.o.d"
+  "sec6a_direction_sweep"
+  "sec6a_direction_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6a_direction_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7a_road.dir/bench_support.cpp.o"
+  "CMakeFiles/sec7a_road.dir/bench_support.cpp.o.d"
+  "CMakeFiles/sec7a_road.dir/sec7a_road.cpp.o"
+  "CMakeFiles/sec7a_road.dir/sec7a_road.cpp.o.d"
+  "sec7a_road"
+  "sec7a_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7a_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

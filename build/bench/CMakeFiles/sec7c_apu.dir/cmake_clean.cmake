@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7c_apu.dir/bench_support.cpp.o"
+  "CMakeFiles/sec7c_apu.dir/bench_support.cpp.o.d"
+  "CMakeFiles/sec7c_apu.dir/sec7c_apu.cpp.o"
+  "CMakeFiles/sec7c_apu.dir/sec7c_apu.cpp.o.d"
+  "sec7c_apu"
+  "sec7c_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7c_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec7c_apu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7c_apu.
+# This may be replaced when dependencies are built.

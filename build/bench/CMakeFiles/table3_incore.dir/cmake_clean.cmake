@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_incore.dir/bench_support.cpp.o"
+  "CMakeFiles/table3_incore.dir/bench_support.cpp.o.d"
+  "CMakeFiles/table3_incore.dir/table3_incore.cpp.o"
+  "CMakeFiles/table3_incore.dir/table3_incore.cpp.o.d"
+  "table3_incore"
+  "table3_incore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_incore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

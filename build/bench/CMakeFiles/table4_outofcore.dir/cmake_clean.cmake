@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_outofcore.dir/bench_support.cpp.o"
+  "CMakeFiles/table4_outofcore.dir/bench_support.cpp.o.d"
+  "CMakeFiles/table4_outofcore.dir/table4_outofcore.cpp.o"
+  "CMakeFiles/table4_outofcore.dir/table4_outofcore.cpp.o.d"
+  "table4_outofcore"
+  "table4_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_large_ids.dir/bench_support.cpp.o"
+  "CMakeFiles/table5_large_ids.dir/bench_support.cpp.o.d"
+  "CMakeFiles/table5_large_ids.dir/table5_large_ids.cpp.o"
+  "CMakeFiles/table5_large_ids.dir/table5_large_ids.cpp.o.d"
+  "table5_large_ids"
+  "table5_large_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_large_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

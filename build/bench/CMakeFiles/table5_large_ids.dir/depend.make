@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_large_ids.
+# This may be replaced when dependencies are built.

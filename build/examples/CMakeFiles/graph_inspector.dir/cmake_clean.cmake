@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_inspector.dir/graph_inspector.cpp.o"
+  "CMakeFiles/graph_inspector.dir/graph_inspector.cpp.o.d"
+  "graph_inspector"
+  "graph_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

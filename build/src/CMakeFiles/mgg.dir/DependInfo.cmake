@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bfs_2d.cpp" "src/CMakeFiles/mgg.dir/baselines/bfs_2d.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/bfs_2d.cpp.o.d"
+  "/root/repo/src/baselines/cpu_reference.cpp" "src/CMakeFiles/mgg.dir/baselines/cpu_reference.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/cpu_reference.cpp.o.d"
+  "/root/repo/src/baselines/frog_async.cpp" "src/CMakeFiles/mgg.dir/baselines/frog_async.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/frog_async.cpp.o.d"
+  "/root/repo/src/baselines/hardwired_bfs.cpp" "src/CMakeFiles/mgg.dir/baselines/hardwired_bfs.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/hardwired_bfs.cpp.o.d"
+  "/root/repo/src/baselines/out_of_core.cpp" "src/CMakeFiles/mgg.dir/baselines/out_of_core.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/out_of_core.cpp.o.d"
+  "/root/repo/src/baselines/totem_hybrid.cpp" "src/CMakeFiles/mgg.dir/baselines/totem_hybrid.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/baselines/totem_hybrid.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/CMakeFiles/mgg.dir/core/comm.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/core/comm.cpp.o.d"
+  "/root/repo/src/core/enactor.cpp" "src/CMakeFiles/mgg.dir/core/enactor.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/core/enactor.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/CMakeFiles/mgg.dir/core/load_balance.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/core/load_balance.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/CMakeFiles/mgg.dir/core/problem.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/core/problem.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/mgg.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mgg.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mgg.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/mgg.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/partition/partitioned_graph.cpp" "src/CMakeFiles/mgg.dir/partition/partitioned_graph.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/partition/partitioned_graph.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/mgg.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/primitives/bc.cpp" "src/CMakeFiles/mgg.dir/primitives/bc.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/bc.cpp.o.d"
+  "/root/repo/src/primitives/bfs.cpp" "src/CMakeFiles/mgg.dir/primitives/bfs.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/bfs.cpp.o.d"
+  "/root/repo/src/primitives/cc.cpp" "src/CMakeFiles/mgg.dir/primitives/cc.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/cc.cpp.o.d"
+  "/root/repo/src/primitives/common.cpp" "src/CMakeFiles/mgg.dir/primitives/common.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/common.cpp.o.d"
+  "/root/repo/src/primitives/dobfs.cpp" "src/CMakeFiles/mgg.dir/primitives/dobfs.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/dobfs.cpp.o.d"
+  "/root/repo/src/primitives/label_propagation.cpp" "src/CMakeFiles/mgg.dir/primitives/label_propagation.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/label_propagation.cpp.o.d"
+  "/root/repo/src/primitives/pagerank.cpp" "src/CMakeFiles/mgg.dir/primitives/pagerank.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/pagerank.cpp.o.d"
+  "/root/repo/src/primitives/sssp.cpp" "src/CMakeFiles/mgg.dir/primitives/sssp.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/primitives/sssp.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/mgg.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/mgg.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/mgg.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mgg.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/util/table.cpp.o.d"
+  "/root/repo/src/vgpu/cost.cpp" "src/CMakeFiles/mgg.dir/vgpu/cost.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/cost.cpp.o.d"
+  "/root/repo/src/vgpu/interconnect.cpp" "src/CMakeFiles/mgg.dir/vgpu/interconnect.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/interconnect.cpp.o.d"
+  "/root/repo/src/vgpu/machine.cpp" "src/CMakeFiles/mgg.dir/vgpu/machine.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/machine.cpp.o.d"
+  "/root/repo/src/vgpu/memory.cpp" "src/CMakeFiles/mgg.dir/vgpu/memory.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/memory.cpp.o.d"
+  "/root/repo/src/vgpu/stats_io.cpp" "src/CMakeFiles/mgg.dir/vgpu/stats_io.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/stats_io.cpp.o.d"
+  "/root/repo/src/vgpu/stream.cpp" "src/CMakeFiles/mgg.dir/vgpu/stream.cpp.o" "gcc" "src/CMakeFiles/mgg.dir/vgpu/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

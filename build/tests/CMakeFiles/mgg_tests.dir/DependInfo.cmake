@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines2_test.cpp" "tests/CMakeFiles/mgg_tests.dir/baselines2_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/baselines2_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/mgg_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bc_test.cpp" "tests/CMakeFiles/mgg_tests.dir/bc_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/bc_test.cpp.o.d"
+  "/root/repo/tests/bfs_test.cpp" "tests/CMakeFiles/mgg_tests.dir/bfs_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/bfs_test.cpp.o.d"
+  "/root/repo/tests/cc_test.cpp" "tests/CMakeFiles/mgg_tests.dir/cc_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/cc_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/mgg_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/mgg_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/datasets_test.cpp" "tests/CMakeFiles/mgg_tests.dir/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/datasets_test.cpp.o.d"
+  "/root/repo/tests/directed_test.cpp" "tests/CMakeFiles/mgg_tests.dir/directed_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/directed_test.cpp.o.d"
+  "/root/repo/tests/dobfs_test.cpp" "tests/CMakeFiles/mgg_tests.dir/dobfs_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/dobfs_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/mgg_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/mgg_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/mgg_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/mgg_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/load_balance_test.cpp" "tests/CMakeFiles/mgg_tests.dir/load_balance_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/load_balance_test.cpp.o.d"
+  "/root/repo/tests/lp_test.cpp" "tests/CMakeFiles/mgg_tests.dir/lp_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/lp_test.cpp.o.d"
+  "/root/repo/tests/pagerank_test.cpp" "tests/CMakeFiles/mgg_tests.dir/pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/pagerank_test.cpp.o.d"
+  "/root/repo/tests/paper_invariants_test.cpp" "tests/CMakeFiles/mgg_tests.dir/paper_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/paper_invariants_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/mgg_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mgg_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sssp_test.cpp" "tests/CMakeFiles/mgg_tests.dir/sssp_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/sssp_test.cpp.o.d"
+  "/root/repo/tests/stream_stress_test.cpp" "tests/CMakeFiles/mgg_tests.dir/stream_stress_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/stream_stress_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/mgg_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/vgpu_test.cpp" "tests/CMakeFiles/mgg_tests.dir/vgpu_test.cpp.o" "gcc" "tests/CMakeFiles/mgg_tests.dir/vgpu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
