@@ -1,0 +1,478 @@
+// Microbenchmark: comm-layer packaging + push throughput, flat pooled
+// messages vs the previous nested-vector design, swept over 1-8 vGPUs.
+//
+// The baseline reconstructs the pre-refactor data path faithfully: a
+// vector-of-vectors message built fresh every iteration, one virtual
+// fill_associates() call per remote vertex (re-resolving the data
+// slice and config per call, as the old primitive hooks did), delivery
+// closures on the sender's comm stream, and drain-by-move (buffers
+// freed after every combine). The flat path is the production CommBus:
+// pooled slot-major messages, one batched gather per associate slot,
+// recycled drain batches.
+//
+// Also instruments the global allocator to demonstrate the headline
+// property: once warm, the flat path performs zero heap allocations
+// across split -> package -> push -> drain -> combine.
+//
+// Measurement protocol, applied identically to both paths:
+//  * Only the package+push section is timed. Delivery, drain and the
+//    combine-side checksum are byte-identical work on both paths and
+//    would dilute the comparison this benchmark exists to make.
+//  * During the timed section every comm stream is parked behind a
+//    gate event, so push() enqueues without waking the delivery
+//    worker. On a host with few cores the woken worker otherwise
+//    steals the CPU from the packaging loop mid-measurement, charging
+//    delivery (identical on both paths) to the timed window. The next
+//    iteration's gate-wait is queued behind this iteration's
+//    deliveries *before* the gate fires, so a worker drains and
+//    immediately re-blocks: no worker is ever runnable while the
+//    timer is running. Per-iteration marker events stand in for
+//    synchronize(), which would deadlock on the queued next gate.
+//  * Throughput is computed from the fastest iteration across --reps
+//    alternating runs; min-of-iterations removes scheduler noise that
+//    mean times carry.
+//
+// Flags: --frontier=N total vertices per iteration (default 8192),
+//        --iters=N (default 100), --reps=N (default 8), --csv=PATH.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/comm.hpp"
+#include "util/timer.hpp"
+#include "vgpu/stream.hpp"
+
+// ---------------------------------------------------------------------
+// Allocation instrumentation (whole process; scoped by sampling the
+// counter around the measured loops).
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace mgg;
+
+// ---------------------------------------------------------------------
+// The pre-refactor message and bus, reconstructed for comparison.
+// ---------------------------------------------------------------------
+struct NestedMessage {
+  int src_gpu = -1;
+  std::vector<VertexT> vertices;
+  std::vector<std::vector<VertexT>> vertex_assoc;
+  std::vector<std::vector<ValueT>> value_assoc;
+};
+
+/// Per-vertex virtual packaging hook, as the enactor used to call it.
+class NestedFiller {
+ public:
+  virtual ~NestedFiller() = default;
+  virtual void fill_associates(VertexT v, NestedMessage& msg) = 0;
+};
+
+class NestedBus {
+ public:
+  explicit NestedBus(vgpu::Machine& machine)
+      : machine_(&machine),
+        locks_(machine.num_devices()),
+        inboxes_(machine.num_devices()) {}
+
+  void push(int src, int dst, NestedMessage message) {
+    message.src_gpu = src;
+    machine_->device(src).comm_stream().submit(
+        [this, dst, msg = std::move(message)]() mutable {
+          std::lock_guard<std::mutex> lock(locks_[dst]);
+          inboxes_[dst].push_back(std::move(msg));
+        });
+  }
+
+  std::vector<NestedMessage> drain(int dst) {
+    std::lock_guard<std::mutex> lock(locks_[dst]);
+    auto messages = std::move(inboxes_[dst]);
+    inboxes_[dst].clear();
+    return messages;
+  }
+
+ private:
+  vgpu::Machine* machine_;
+  std::vector<std::mutex> locks_;
+  std::vector<std::vector<NestedMessage>> inboxes_;
+};
+
+// ---------------------------------------------------------------------
+// Synthetic SSSP-shaped workload: a fixed total frontier partitioned
+// over the GPUs (strong scaling, like the paper's fixed-dataset
+// sweeps — this also keeps the gather working set identical across
+// sweep rows so they compare packaging, not cache footprint). Every
+// GPU emits its share of the frontier; vertices are owned round-robin
+// by the peers and each sent vertex carries one VertexT and one ValueT
+// associate.
+// ---------------------------------------------------------------------
+struct Workload {
+  int gpus;
+  SizeT frontier;                          // total per iteration
+  std::vector<VertexT> preds;              // associate source arrays
+  std::vector<ValueT> dist;
+  std::vector<int> owner;                  // like SubGraph::owner
+  std::vector<std::vector<VertexT>> frontiers;  // materialized, per GPU
+
+  explicit Workload(int n, SizeT f) : gpus(n), frontier(f) {
+    const std::size_t universe = static_cast<std::size_t>(f);
+    const SizeT per_gpu = f / n;
+    preds.resize(universe);
+    dist.resize(universe);
+    owner.resize(universe);
+    for (std::size_t v = 0; v < universe; ++v) {
+      preds[v] = static_cast<VertexT>(universe - v);
+      dist[v] = static_cast<ValueT>(v) * 0.5f;
+      owner[v] = static_cast<int>(v % n);
+    }
+    // Materialize each GPU's (identical every iteration) output
+    // frontier up front: the enactor reads frontier.output() from
+    // memory, it does not synthesize vertices in the split loop.
+    frontiers.resize(n);
+    for (int gpu = 0; gpu < n; ++gpu) {
+      auto& out = frontiers[gpu];
+      out.reserve(per_gpu);
+      for (SizeT i = 0; i < per_gpu; ++i) {
+        out.push_back(static_cast<VertexT>(
+            (static_cast<VertexT>(gpu) + static_cast<VertexT>(i) * 7u) %
+            universe));
+      }
+    }
+  }
+
+  double items_per_iter() const {
+    double items = 0;
+    for (int gpu = 0; gpu < gpus; ++gpu) {
+      for (const VertexT v : frontiers[gpu]) {
+        if (owner[v] != gpu) ++items;
+      }
+    }
+    return items;
+  }
+};
+
+// Mirror of the real pre-refactor hook body (see the seed's
+// SsspEnactor::fill_associates): the per-vertex fill re-resolved the
+// problem's data slice, re-checked the config flag, and reached the
+// source arrays through the slice indirection on every single vertex —
+// exactly the work the batched fill_*_associates hooks now hoist out
+// of the loop.
+struct NestedProblemMirror {
+  struct DataSlice {
+    const VertexT* preds;
+    const ValueT* dist;
+  };
+  std::vector<DataSlice> slices;
+  bool mark_predecessors = true;
+  DataSlice& data(int gpu) { return slices[gpu]; }
+};
+
+class WorkloadFiller : public NestedFiller {
+ public:
+  WorkloadFiller(NestedProblemMirror& problem, int gpu)
+      : problem_(&problem), gpu_(gpu) {}
+  void fill_associates(VertexT v, NestedMessage& msg) override {
+    NestedProblemMirror::DataSlice& d = problem_->data(gpu_);
+    msg.value_assoc[0].push_back(d.dist[v]);
+    if (problem_->mark_predecessors) {
+      msg.vertex_assoc[0].push_back(d.preds[v]);
+    }
+  }
+
+ private:
+  NestedProblemMirror* problem_;
+  int gpu_;
+};
+
+// In the real enactor the per-vertex hook was a virtual call on
+// EnactorBase made from another translation unit: a true indirect call
+// the optimizer cannot devirtualize or inline, forcing the message's
+// vector internals to be reloaded on every vertex. A same-TU benchmark
+// would quietly devirtualize it and flatter the baseline; routing the
+// pointer through a volatile slot restores the original opacity.
+NestedFiller* opaque(NestedFiller* filler) {
+  static NestedFiller* volatile slot;
+  slot = filler;
+  return slot;
+}
+
+double checksum_nested(const std::vector<NestedMessage>& messages) {
+  double sum = 0;
+  for (const auto& m : messages) {
+    for (std::size_t i = 0; i < m.vertices.size(); ++i) {
+      sum += m.vertices[i] + m.vertex_assoc[0][i] + m.value_assoc[0][i];
+    }
+  }
+  return sum;
+}
+
+constexpr int kWarmupRounds = 5;
+
+// Park every comm stream behind `gate` so pushes submitted in the
+// timed section enqueue without waking the delivery workers.
+void park_comm_streams(vgpu::Machine& machine, const vgpu::Event& gate) {
+  for (int d = 0; d < machine.num_devices(); ++d) {
+    machine.device(d).comm_stream().wait_event(gate);
+  }
+}
+
+// Gate/marker scaffolding for one measured run. All events are created
+// up front (Event construction allocates; the measured loop must not),
+// and the parking protocol keeps every comm worker blocked for the
+// whole of every timed window: the wait on gate[it + 1] is queued
+// behind iteration it's deliveries before gate[it] fires, so a woken
+// worker drains its inbox traffic and immediately re-blocks.
+struct RunGates {
+  std::vector<vgpu::Event> gates;               // one per round, + final
+  std::vector<std::vector<vgpu::Event>> delivered;  // [round][device]
+  vgpu::Machine* machine;
+  int devices;
+
+  RunGates(vgpu::Machine& m, int rounds)
+      : gates(rounds + 1),
+        delivered(rounds),
+        machine(&m),
+        devices(m.num_devices()) {
+    // resize(), not vector(rounds, row): copying a prototype row would
+    // alias every round's markers onto one shared event state.
+    for (auto& row : delivered) row.resize(devices);
+    park_comm_streams(m, gates[0]);
+    // Give the workers time to dequeue the wait task and block on the
+    // gate before the first round starts; from then on the hand-over
+    // protocol in finish_round() keeps them parked.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  /// Called after round `it`'s pushes: chain the workers onto the next
+  /// gate, release this round's traffic, and wait (on the host) until
+  /// every delivery has landed. Untimed.
+  void finish_round(int it) {
+    for (int d = 0; d < devices; ++d) {
+      machine->device(d).comm_stream().submit(
+          [marker = delivered[it][d]]() mutable { marker.fire(); });
+    }
+    park_comm_streams(*machine, gates[it + 1]);
+    gates[it].fire();
+    for (int d = 0; d < devices; ++d) delivered[it][d].wait();
+  }
+
+  /// Unblock the final gate-wait so the streams can drain and join.
+  ~RunGates() {
+    gates.back().fire();
+    for (int d = 0; d < devices; ++d) {
+      machine->device(d).comm_stream().synchronize();
+    }
+  }
+};
+
+double run_nested(vgpu::Machine& machine, const Workload& w, int iters,
+                  double* out_best_iter_s) {
+  NestedBus bus(machine);
+  NestedProblemMirror problem;
+  problem.slices.resize(w.gpus);
+  for (auto& slice : problem.slices) {
+    slice.preds = w.preds.data();
+    slice.dist = w.dist.data();
+  }
+  std::vector<WorkloadFiller> fillers;
+  for (int gpu = 0; gpu < w.gpus; ++gpu) fillers.emplace_back(problem, gpu);
+  RunGates rg(machine, kWarmupRounds + iters);
+  const int n = w.gpus;
+  double sum = 0;
+  double best_iter_s = 1e300;
+  util::WallTimer timer;
+  // Warm-up rounds mirror the flat path's (keeps the checksums
+  // comparable); the nested path has nothing to warm, so round 0 is
+  // representative either way.
+  for (int it = 0; it < kWarmupRounds + iters; ++it) {
+    const bool measured = it >= kWarmupRounds;
+    if (measured) timer.restart();
+    for (int gpu = 0; gpu < n; ++gpu) {
+      // Route + package, one fresh nested message per peer, one
+      // virtual call per remote vertex (the old inner loop).
+      std::vector<NestedMessage> outbox(n);
+      for (auto& m : outbox) {
+        m.vertex_assoc.resize(1);
+        m.value_assoc.resize(1);
+      }
+      NestedFiller& filler = *opaque(&fillers[gpu]);
+      for (const VertexT v : w.frontiers[gpu]) {
+        const int peer = w.owner[v];
+        if (peer == gpu) continue;
+        outbox[peer].vertices.push_back(v);
+        filler.fill_associates(v, outbox[peer]);
+      }
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == gpu || outbox[peer].vertices.empty()) continue;
+        bus.push(gpu, peer, std::move(outbox[peer]));
+      }
+    }
+    if (measured) best_iter_s = std::min(best_iter_s, timer.seconds());
+    rg.finish_round(it);
+    for (int gpu = 0; gpu < n; ++gpu) {
+      const auto messages = bus.drain(gpu);  // move out, free after use
+      sum += checksum_nested(messages);
+    }
+  }
+  *out_best_iter_s = best_iter_s;
+  return sum;
+}
+
+double run_flat(vgpu::Machine& machine, const Workload& w, int iters,
+                double* out_best_iter_s, std::uint64_t* out_allocs) {
+  core::CommBus bus(machine);
+  const int n = w.gpus;
+  std::vector<std::vector<VertexT>> peer_sources(n);
+  // Constructed outside the allocation-counting window: gate/marker
+  // events are measurement scaffolding, not part of the message path.
+  RunGates rg(machine, kWarmupRounds + iters);
+  double sum = 0;
+  double best_iter_s = 1e300;
+  util::WallTimer timer;
+
+  auto iterate = [&](int first, int count, bool measured) {
+    for (int it = first; it < first + count; ++it) {
+      if (measured) timer.restart();
+      for (int gpu = 0; gpu < n; ++gpu) {
+        for (auto& sources : peer_sources) sources.clear();
+        for (const VertexT v : w.frontiers[gpu]) {
+          const int peer = w.owner[v];
+          if (peer == gpu) continue;
+          peer_sources[peer].push_back(v);
+        }
+        for (int peer = 0; peer < n; ++peer) {
+          const auto& sources = peer_sources[peer];
+          if (peer == gpu || sources.empty()) continue;
+          core::Message msg = bus.acquire();
+          msg.set_layout(1, 1, sources.size());
+          const auto preds_out = msg.vertex_slot(0);
+          const auto dist_out = msg.value_slot(0);
+          // Batched gathers: one pass per associate slot.
+          for (std::size_t i = 0; i < sources.size(); ++i) {
+            msg.vertices[i] = sources[i];
+          }
+          for (std::size_t i = 0; i < sources.size(); ++i) {
+            preds_out[i] = w.preds[sources[i]];
+          }
+          for (std::size_t i = 0; i < sources.size(); ++i) {
+            dist_out[i] = w.dist[sources[i]];
+          }
+          bus.push(gpu, peer, std::move(msg));
+        }
+      }
+      if (measured) best_iter_s = std::min(best_iter_s, timer.seconds());
+      rg.finish_round(it);
+      for (int gpu = 0; gpu < n; ++gpu) {
+        const auto& messages = bus.drain(gpu);
+        for (const core::Message& m : messages) {
+          const auto preds_in = m.vertex_slot(0);
+          const auto dist_in = m.value_slot(0);
+          for (std::size_t i = 0; i < m.vertices.size(); ++i) {
+            sum += m.vertices[i] + preds_in[i] + dist_in[i];
+          }
+        }
+        bus.release_drained(gpu);
+      }
+    }
+  };
+
+  // Warm the pool, the stream rings, and the scratch.
+  iterate(0, kWarmupRounds, false);
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  iterate(kWarmupRounds, iters, true);
+  *out_best_iter_s = best_iter_s;
+  *out_allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgg;
+  const auto options = bench::parse_common(argc, argv);
+  const auto frontier =
+      static_cast<SizeT>(options.get_int("frontier", 8192));
+  const int iters = static_cast<int>(options.get_int("iters", 100));
+  const int reps = static_cast<int>(options.get_int("reps", 8));
+
+  util::Table table("micro: package+push throughput, flat pooled vs "
+                    "nested (total frontier " +
+                    std::to_string(frontier) + ", 2 associates)");
+  table.set_columns({"vGPUs", "items/iter", "nested Mit/s", "flat Mit/s",
+                     "speedup", "allocs (steady)"},
+                    1);
+
+  // The gate must be earned by a measured 4-vGPU row; a degenerate
+  // workload (--frontier=0) that skips the row must not pass vacuously.
+  bool ok = false;
+  for (const int gpus : {1, 2, 4, 8}) {
+    Workload w(gpus, frontier);
+    const double items = w.items_per_iter();
+    auto machine = vgpu::Machine::create("k40", gpus);
+    double nested_s = 1e300, flat_s = 1e300;
+    std::uint64_t flat_allocs = 0;  // worst rep
+    for (int rep = 0; rep < reps; ++rep) {
+      double s = 0;
+      const double nested_sum = run_nested(machine, w, iters, &s);
+      nested_s = std::min(nested_s, s);
+      std::uint64_t allocs = 0;
+      const double flat_sum = run_flat(machine, w, iters, &s, &allocs);
+      flat_s = std::min(flat_s, s);
+      flat_allocs = std::max(flat_allocs, allocs);
+      if (nested_sum != flat_sum) {
+        std::fprintf(stderr, "checksum mismatch at %d GPUs: %f vs %f\n",
+                     gpus, nested_sum, flat_sum);
+        return 1;
+      }
+    }
+    if (items == 0) {
+      // Single GPU: everything is local, nothing is packaged.
+      table.add_row({static_cast<long long>(gpus), 0ll, std::string("-"),
+                     std::string("-"), std::string("-"), std::string("-")});
+      continue;
+    }
+    const double nested_mips = items / nested_s / 1e6;
+    const double flat_mips = items / flat_s / 1e6;
+    const double speedup = flat_mips / nested_mips;
+    table.add_row({static_cast<long long>(gpus),
+                   static_cast<long long>(items), nested_mips, flat_mips,
+                   speedup, static_cast<long long>(flat_allocs)});
+    if (gpus == 4) {
+      // The acceptance gate is the 4-vGPU row.
+      ok = speedup >= 2.0 && flat_allocs == 0;
+    }
+  }
+  bench::emit(table, options);
+  std::printf("acceptance at 4 vGPUs (speedup >= 2x, zero steady-state "
+              "message allocations): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -44,11 +44,74 @@ double run_with_injection(const std::string& primitive,
 
 }  // namespace
 
+namespace {
+
+// Golden communication volumes at 4 GPUs / seed 1, pinned so any
+// change to the message layout or packaging path that alters H (bytes
+// or items) fails loudly. BFS and PR goldens predate the flat
+// message-layout change and still match bit-identically; the SSSP
+// goldens were re-captured when drain order was made deterministic
+// (arrival order previously varied run to run, and SSSP's sends depend
+// on combine order).
+struct GoldenH {
+  const char* dataset;
+  const char* primitive;
+  std::uint64_t bytes;
+  std::uint64_t items;
+};
+
+constexpr GoldenH kGoldens[] = {
+    {"rmat_n22_128", "bfs", 84724, 21181},
+    {"rmat_n22_128", "sssp", 384536, 48067},
+    {"rmat_n22_128", "pr", 1864192, 233024},
+    {"indochina-2004", "bfs", 173488, 43372},
+    {"indochina-2004", "sssp", 1556024, 194503},
+    {"indochina-2004", "pr", 3817000, 477125},
+};
+
+bool check_comm_volume_goldens() {
+  using namespace mgg;
+  bool ok = true;
+  std::string current_dataset;
+  graph::Dataset ds;
+  for (const GoldenH& golden : kGoldens) {
+    if (current_dataset != golden.dataset) {
+      ds = graph::build_dataset(golden.dataset, /*seed=*/1);
+      current_dataset = golden.dataset;
+    }
+    const auto cfg = bench::config_for_primitive(golden.primitive, 4, 1);
+    const auto outcome =
+        bench::run_primitive(golden.primitive, ds.graph, "k40", cfg);
+    const bool match = outcome.stats.total_comm_bytes == golden.bytes &&
+                       outcome.stats.total_comm_items == golden.items;
+    if (!match) {
+      ok = false;
+      std::fprintf(stderr,
+                   "H MISMATCH %s/%s: got bytes=%llu items=%llu, "
+                   "expected bytes=%llu items=%llu\n",
+                   golden.dataset, golden.primitive,
+                   static_cast<unsigned long long>(
+                       outcome.stats.total_comm_bytes),
+                   static_cast<unsigned long long>(
+                       outcome.stats.total_comm_items),
+                   static_cast<unsigned long long>(golden.bytes),
+                   static_cast<unsigned long long>(golden.items));
+    }
+  }
+  std::printf("comm-volume goldens (4 GPUs, seed 1): %s\n",
+              ok ? "all match" : "MISMATCH");
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mgg;
   const auto options = bench::parse_common(argc, argv);
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+
+  if (!check_comm_volume_goldens()) return 1;
 
   const auto ds = graph::build_dataset("rmat_n22_128", seed);
   const double scale = bench::dataset_scale(ds);

@@ -92,19 +92,26 @@ class WidestPathEnactor : public core::EnactorBase {
     });
   }
 
-  // (2) Data to communicate: the improved width.
+  // (2) Data to communicate: the improved width — one batched gather
+  // per outgoing message.
   int num_value_associates() const override { return 1; }
-  void fill_associates(Slice& s, VertexT v, core::Message& msg) override {
-    msg.value_assoc[0].push_back(wp_.width(s.gpu)[v]);
+  void fill_value_associates(Slice& s, int /*slot*/,
+                             std::span<const VertexT> sources,
+                             ValueT* out) override {
+    const auto& width = wp_.width(s.gpu);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = width[sources[i]];
+    }
   }
 
   // (3) Combine: keep the maximum of local and received widths.
   void expand_incoming(Slice& s, const core::Message& msg) override {
     auto& width = wp_.width(s.gpu);
+    const auto width_in = msg.value_slot(0);
     for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
       const VertexT v = msg.vertices[i];
-      if (msg.value_assoc[0][i] <= width[v]) continue;
-      width[v] = msg.value_assoc[0][i];
+      if (width_in[i] <= width[v]) continue;
+      width[v] = width_in[i];
       s.frontier.append_input(v);
     }
   }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 verify from ROADMAP.md, then a
+# ThreadSanitizer build of the concurrency-sensitive suites (the comm
+# layer, the enactor's control threads, fault paths, and the stream
+# stress tests). Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "==> tsan: build mgg_tests with -fsanitize=thread"
+cmake -B "$TSAN_BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_BUILD" -j --target mgg_tests
+
+echo "==> tsan: core / fault / stream-stress suites"
+# The suites defined in core_test.cpp, fault_test.cpp and
+# stream_stress_test.cpp — the code paths where threads actually race.
+TSAN_FILTER='Message.*:CommBus.*:Frontier.*:Operators.*:Problem.*'
+TSAN_FILTER+=':Enactor.*:Oom.*:FaultInjection.*:StreamStress.*'
+"$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
+
+echo "==> check.sh: all green"

@@ -1,5 +1,7 @@
 #include "core/comm.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace mgg::core {
@@ -15,42 +17,114 @@ std::string to_string(CommStrategy s) {
 CommBus::CommBus(vgpu::Machine& machine)
     : machine_(&machine),
       locks_(machine.num_devices()),
-      inboxes_(machine.num_devices()) {}
+      inboxes_(machine.num_devices()),
+      drained_(machine.num_devices()) {}
+
+Message CommBus::acquire() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_.empty()) return Message{};
+  Message message = std::move(pool_.back());
+  pool_.pop_back();
+  return message;
+}
+
+void CommBus::release(Message&& message) {
+  message.recycle();
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(message));
+}
+
+std::size_t CommBus::pool_size() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_.size();
+}
 
 void CommBus::push(int src, int dst, Message message) {
   MGG_REQUIRE(src >= 0 && src < machine_->num_devices(), "bad src GPU");
   MGG_REQUIRE(dst >= 0 && dst < machine_->num_devices(), "bad dst GPU");
   MGG_REQUIRE(src != dst, "self-push is a framework bug");
-  if (message.empty()) return;
+  if (message.empty()) {
+    release(std::move(message));
+    return;
+  }
   message.src_gpu = src;
 
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
   vgpu::Device& sender = machine_->device(src);
-  auto task = [this, src, dst, msg = std::move(message)]() mutable {
-    const std::size_t bytes = msg.payload_bytes();
-    const std::size_t items = msg.vertices.size();
-    const double seconds =
-        machine_->interconnect().transfer_seconds(src, dst, bytes);
-    machine_->device(src).add_comm_cost(seconds, bytes, items);
-    machine_->interconnect().record_transfer(bytes);
-    {
-      std::lock_guard<std::mutex> lock(locks_[dst]);
-      inboxes_[dst].push_back(std::move(msg));
-    }
-  };
-  sender.comm_stream().submit(std::move(task));
+  sender.comm_stream().submit(
+      [this, src, dst, epoch, msg = std::move(message)]() mutable {
+        if (epoch != epoch_.load(std::memory_order_acquire)) {
+          // The run this push belongs to was reset while the task sat
+          // on the comm stream; drop the stale payload.
+          release(std::move(msg));
+          return;
+        }
+        const std::size_t bytes = msg.payload_bytes();
+        const std::size_t items = msg.vertices.size();
+        const double seconds =
+            machine_->interconnect().transfer_seconds(src, dst, bytes);
+        machine_->device(src).add_comm_cost(seconds, bytes, items);
+        machine_->interconnect().record_transfer(bytes);
+        {
+          std::lock_guard<std::mutex> lock(locks_[dst]);
+          inboxes_[dst].push_back(std::move(msg));
+        }
+      });
 }
 
-std::vector<Message> CommBus::drain(int dst) {
-  std::lock_guard<std::mutex> lock(locks_[dst]);
-  std::vector<Message> out = std::move(inboxes_[dst]);
-  inboxes_[dst].clear();
-  return out;
+std::vector<Message>& CommBus::drain(int dst) {
+  release_drained(dst);
+  {
+    std::lock_guard<std::mutex> lock(locks_[dst]);
+    // Swap instead of move-and-clear: the inbox inherits the drained
+    // batch's (emptied) storage, so both vectors keep their high-water
+    // capacity across iterations.
+    drained_[dst].swap(inboxes_[dst]);
+  }
+  // Inbox arrival order depends on comm-stream scheduling; sort by
+  // (sender, tag) — unique per iteration — so the combine order, and
+  // with it every downstream quantity (H included, for primitives
+  // whose sends depend on combine order, e.g. SSSP), is reproducible
+  // across runs.
+  std::sort(drained_[dst].begin(), drained_[dst].end(),
+            [](const Message& a, const Message& b) {
+              return a.src_gpu != b.src_gpu ? a.src_gpu < b.src_gpu
+                                            : a.tag < b.tag;
+            });
+  return drained_[dst];
+}
+
+void CommBus::release_drained(int dst) {
+  auto& batch = drained_[dst];
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  for (Message& message : batch) {
+    message.recycle();
+    pool_.push_back(std::move(message));
+  }
+  batch.clear();
 }
 
 void CommBus::reset() {
-  for (std::size_t i = 0; i < inboxes_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(locks_[i]);
-    inboxes_[i].clear();
+  // Synchronize every sender first: a push task still queued on a comm
+  // stream would otherwise execute after the clear below and deliver a
+  // previous run's message into the next run's inbox.
+  for (int d = 0; d < machine_->num_devices(); ++d) {
+    machine_->device(d).comm_stream().synchronize();
+  }
+  // Advance the epoch so any remaining straggler (defensive; the
+  // synchronization above retires everything submitted so far) drops
+  // its payload instead of delivering.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (int d = 0; d < machine_->num_devices(); ++d) {
+    {
+      std::lock_guard<std::mutex> lock(locks_[d]);
+      drained_[d].insert(drained_[d].end(),
+                         std::make_move_iterator(inboxes_[d].begin()),
+                         std::make_move_iterator(inboxes_[d].end()));
+      inboxes_[d].clear();
+    }
+    release_drained(d);
   }
 }
 

@@ -4,18 +4,35 @@
 // A Message is one sender->receiver package for one iteration: the
 // remote sub-frontier plus the primitive-specified associated data
 // (vertex associates like predecessor IDs, value associates like
-// distances or ranks). Pushes are issued on the *sender's*
-// communication stream so they overlap the remainder of the sender's
-// compute work; the modeled transfer cost (latency + bytes/bandwidth,
-// from the Interconnect) is charged to the sender's iteration
-// counters. The receiver drains its inbox after the BSP barrier.
+// distances or ranks). The payload is a flat structure-of-arrays: one
+// contiguous `vertices` array plus one strided flat array per associate
+// kind, slot-major (slot a of k associates occupies [a*n, (a+1)*n) for
+// n vertices). Compared to the earlier vector-of-vectors layout this
+// is the ButterFly-style transfer buffer: a fixed number of contiguous
+// regions per message, reusable across iterations without per-vertex
+// or per-slot heap traffic.
+//
+// Messages are pooled per CommBus: acquire() hands out a recycled
+// message whose vectors keep their high-water capacity, push() moves
+// it to the receiver, drain() surfaces it, and release_drained()
+// returns it to the pool — so steady-state iterations move frontiers
+// with zero message-related heap allocations.
+//
+// Pushes are issued on the *sender's* communication stream so they
+// overlap the remainder of the sender's compute work; the modeled
+// transfer cost (latency + bytes/bandwidth, from the Interconnect) is
+// charged to the sender's iteration counters. The receiver drains its
+// inbox after the BSP barrier.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/pod_vector.hpp"
 #include "vgpu/machine.hpp"
 
 namespace mgg::core {
@@ -34,23 +51,88 @@ struct Message {
   /// than one kind of payload in a run (e.g. BC's sigma partials /
   /// finalized broadcasts / delta partials).
   int tag = 0;
+  /// Number of per-vertex VertexT / ValueT associate slots carried in
+  /// the flat arrays below.
+  int vertex_slots = 0;
+  int value_slots = 0;
   /// Frontier vertices, already converted to receiver-local IDs
   /// (selective) or global IDs (broadcast with duplicate-all, where
-  /// local == global).
-  std::vector<VertexT> vertices;
-  /// Per-vertex VertexT-typed associates (e.g. predecessors).
-  std::vector<std::vector<VertexT>> vertex_assoc;
-  /// Per-vertex ValueT-typed associates (e.g. distances, ranks).
-  std::vector<std::vector<ValueT>> value_assoc;
+  /// local == global). PodVector: set_layout() exposes uninitialized
+  /// elements, and the packaging pass must write every one of them.
+  util::PodVector<VertexT> vertices;
+  /// Flat slot-major VertexT associates (e.g. predecessors):
+  /// `vertex_slots * vertices.size()` entries.
+  util::PodVector<VertexT> vertex_assoc;
+  /// Flat slot-major ValueT associates (e.g. distances, ranks):
+  /// `value_slots * vertices.size()` entries.
+  util::PodVector<ValueT> value_assoc;
 
   bool empty() const noexcept { return vertices.empty(); }
+  std::size_t size() const noexcept { return vertices.size(); }
 
-  /// Bytes on the wire: the communication volume H in bytes.
+  /// Size the message for `n` vertices with the given associate slot
+  /// counts. Resizes within retained capacity on pooled messages, so
+  /// warm steady-state calls never allocate. Newly exposed elements
+  /// are uninitialized — the caller must fill the vertices array and
+  /// every associate slot completely.
+  void set_layout(int num_vertex_slots, int num_value_slots,
+                  std::size_t n) {
+    vertex_slots = num_vertex_slots;
+    value_slots = num_value_slots;
+    vertices.resize(n);
+    vertex_assoc.resize(static_cast<std::size_t>(vertex_slots) * n);
+    value_assoc.resize(static_cast<std::size_t>(value_slots) * n);
+  }
+
+  /// The contiguous region of vertex-associate slot `slot` (one entry
+  /// per vertex, same order as `vertices`).
+  std::span<VertexT> vertex_slot(int slot) {
+    return {vertex_assoc.data() + static_cast<std::size_t>(slot) * size(),
+            size()};
+  }
+  std::span<const VertexT> vertex_slot(int slot) const {
+    return {vertex_assoc.data() + static_cast<std::size_t>(slot) * size(),
+            size()};
+  }
+  std::span<ValueT> value_slot(int slot) {
+    return {value_assoc.data() + static_cast<std::size_t>(slot) * size(),
+            size()};
+  }
+  std::span<const ValueT> value_slot(int slot) const {
+    return {value_assoc.data() + static_cast<std::size_t>(slot) * size(),
+            size()};
+  }
+
+  /// Capacity-reusing deep copy (used by the broadcast path to stamp
+  /// one packaged prototype out to every peer without reallocating).
+  void assign_from(const Message& other) {
+    src_gpu = other.src_gpu;
+    tag = other.tag;
+    vertex_slots = other.vertex_slots;
+    value_slots = other.value_slots;
+    vertices = other.vertices;
+    vertex_assoc = other.vertex_assoc;
+    value_assoc = other.value_assoc;
+  }
+
+  /// Empty the message but keep every buffer's capacity (pool reuse).
+  void recycle() noexcept {
+    src_gpu = -1;
+    tag = 0;
+    vertex_slots = 0;
+    value_slots = 0;
+    vertices.clear();
+    vertex_assoc.clear();
+    value_assoc.clear();
+  }
+
+  /// Bytes on the wire: the communication volume H in bytes. Identical
+  /// to the nested layout's accounting — the flat arrays hold exactly
+  /// `slots * n` entries of each associate kind.
   std::size_t payload_bytes() const noexcept {
-    std::size_t bytes = vertices.size() * sizeof(VertexT);
-    for (const auto& a : vertex_assoc) bytes += a.size() * sizeof(VertexT);
-    for (const auto& a : value_assoc) bytes += a.size() * sizeof(ValueT);
-    return bytes;
+    return vertices.size() * sizeof(VertexT) +
+           vertex_assoc.size() * sizeof(VertexT) +
+           value_assoc.size() * sizeof(ValueT);
   }
 };
 
@@ -58,23 +140,54 @@ class CommBus {
  public:
   explicit CommBus(vgpu::Machine& machine);
 
+  /// Take a message from the pool (or a fresh one if the pool is dry).
+  /// It comes back empty but with its previous buffer capacities.
+  Message acquire();
+
+  /// Return a message's buffers to the pool. Safe from any thread.
+  void release(Message&& message);
+
   /// Push a message from GPU `src` to GPU `dst`. Enqueued on src's
   /// comm stream; models the transfer cost, records H counters, and
-  /// deposits into dst's inbox. The sender must synchronize its comm
-  /// stream before the BSP barrier.
+  /// deposits into dst's inbox. Empty messages are recycled, not sent.
+  /// The sender must synchronize its comm stream before the BSP
+  /// barrier. The message is stamped with the bus's current epoch: if
+  /// reset() retires the run before the push task executes, the
+  /// payload is dropped into the pool instead of delivered.
   void push(int src, int dst, Message message);
 
   /// Take all messages addressed to `dst`. Call only after the barrier
-  /// that follows all senders' comm-stream synchronization.
-  std::vector<Message> drain(int dst);
+  /// that follows all senders' comm-stream synchronization. Returns a
+  /// reference to a per-receiver batch that stays valid until the next
+  /// drain(dst) / release_drained(dst); the previous batch (if any) is
+  /// recycled into the pool first.
+  std::vector<Message>& drain(int dst);
 
-  /// Drop any undelivered messages (new run).
+  /// Recycle `dst`'s last drained batch into the pool. Call after
+  /// combining so the buffers are available to the next iteration's
+  /// senders.
+  void release_drained(int dst);
+
+  /// Retire the previous run: synchronize every sender's comm stream
+  /// (an in-flight push task must not deliver a stale message into the
+  /// next run's inbox), advance the epoch, and recycle all undelivered
+  /// messages.
   void reset();
+
+  /// Messages currently resting in the pool (observability / tests).
+  std::size_t pool_size() const;
 
  private:
   vgpu::Machine* machine_;
+  /// Run stamp; pushes submitted under an older epoch are dropped at
+  /// delivery time (second line of defense behind reset()'s stream
+  /// synchronization).
+  std::atomic<std::uint64_t> epoch_{0};
   std::vector<std::mutex> locks_;               // per receiver
   std::vector<std::vector<Message>> inboxes_;   // per receiver
+  std::vector<std::vector<Message>> drained_;   // per receiver scratch
+  mutable std::mutex pool_mutex_;
+  std::vector<Message> pool_;
 };
 
 }  // namespace mgg::core

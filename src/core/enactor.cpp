@@ -1,5 +1,7 @@
 #include "core/enactor.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -19,6 +21,7 @@ EnactorBase::EnactorBase(ProblemBase& problem)
     s->frontier.init(*s->device, cfg.scheme, csr.num_vertices,
                      csr.num_edges);
     s->dedup.resize(csr.num_vertices);
+    s->peer_sources.resize(n_);
 
     // The split (non-fused) pipeline keeps an intermediate advance
     // buffer whose size is the allocation scheme's signature (§VI-B):
@@ -47,6 +50,7 @@ EnactorBase::EnactorBase(ProblemBase& problem)
     slices_.push_back(std::move(s));
   }
   bus_ = std::make_unique<CommBus>(problem.machine());
+  errors_.assign(static_cast<std::size_t>(n_) + 1, nullptr);
 
   barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
       n_, std::function<void()>([this] {
@@ -81,7 +85,22 @@ EnactorBase::~EnactorBase() {
   }
 }
 
-void EnactorBase::fill_associates(Slice&, VertexT, Message&) {}
+void EnactorBase::fill_vertex_associates(Slice&, int,
+                                         std::span<const VertexT>,
+                                         VertexT*) {
+  MGG_ASSERT(false,
+             "primitive declared vertex associates but did not "
+             "implement fill_vertex_associates");
+}
+
+void EnactorBase::fill_value_associates(Slice&, int,
+                                        std::span<const VertexT>,
+                                        ValueT*) {
+  MGG_ASSERT(false,
+             "primitive declared value associates but did not "
+             "implement fill_value_associates");
+}
+
 void EnactorBase::begin_iteration(std::uint64_t) {}
 bool EnactorBase::converged(bool all_frontiers_empty, std::uint64_t) {
   return all_frontiers_empty;
@@ -108,7 +127,10 @@ vgpu::RunStats EnactorBase::enact() {
   iteration_ = 0;
   stop_flag_.store(false, std::memory_order_release);
   error_flag_.store(false, std::memory_order_release);
-  error_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+  }
   barrier_phase_ = 0;
   bus_->reset();
   for (auto& s : slices_) {
@@ -136,11 +158,21 @@ vgpu::RunStats EnactorBase::enact() {
   run_stats_.wall_s = timer.seconds();
   run_stats_.total_combine_items = total_combine_items();
 
-  if (error_ != nullptr) {
-    const std::exception_ptr error = error_;
-    error_ = nullptr;
-    std::rethrow_exception(error);
+  // Deterministic rethrow: the lowest-numbered GPU's error wins, then
+  // the close_iteration slot — regardless of which thread recorded
+  // first during the run.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    for (auto& slot : errors_) {
+      if (slot != nullptr) {
+        error = slot;
+        break;
+      }
+    }
+    std::fill(errors_.begin(), errors_.end(), nullptr);
   }
+  if (error != nullptr) std::rethrow_exception(error);
   return run_stats_;
 }
 
@@ -163,10 +195,10 @@ void EnactorBase::worker(int gpu) {
   }
 }
 
-void EnactorBase::record_error() {
+void EnactorBase::record_error(int slot) {
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!error_) error_ = std::current_exception();
+    if (errors_[slot] == nullptr) errors_[slot] = std::current_exception();
   }
   error_flag_.store(true, std::memory_order_release);
 }
@@ -180,15 +212,23 @@ void EnactorBase::run_loop(int gpu) {
         iteration_core(s);
         communicate(s);
       }
+    } catch (...) {
+      record_error(gpu);
+    }
+    // Synchronize outside the hook try-block so it runs even when a
+    // hook threw mid-push: every push this thread queued is delivered
+    // (or retired) before barrier A, so no message can race a peer's
+    // combine step or linger into the next run.
+    try {
       s.device->comm_stream().synchronize();
     } catch (...) {
-      record_error();
+      record_error(gpu);
     }
     barrier_->arrive_and_wait();  // all messages deposited
 
     // --- combine received sub-frontiers (ExpandIncoming) ---
     try {
-      auto messages = bus_->drain(gpu);
+      auto& messages = bus_->drain(gpu);
       if (!has_error()) {
         for (const Message& msg : messages) {
           expand_incoming(s, msg);
@@ -197,8 +237,11 @@ void EnactorBase::run_loop(int gpu) {
           s.device->add_kernel_cost(0, msg.vertices.size(), 1);
         }
       }
+      // Recycle the batch now so the pooled buffers are available to
+      // every sender in the next iteration.
+      bus_->release_drained(gpu);
     } catch (...) {
-      record_error();
+      record_error(gpu);
     }
     barrier_->arrive_and_wait();  // close_iteration ran exclusively
 
@@ -207,6 +250,19 @@ void EnactorBase::run_loop(int gpu) {
 }
 
 void EnactorBase::close_iteration() {
+  // A throw out of a std::barrier completion callback would terminate
+  // the process (and strand every thread parked on the barrier), so
+  // the fallible work — primitive hooks included — is fenced here and
+  // converted into the regular error-stop protocol.
+  try {
+    close_iteration_body();
+  } catch (...) {
+    record_error(n_);
+    stop_flag_.store(true, std::memory_order_release);
+  }
+}
+
+void EnactorBase::close_iteration_body() {
   vgpu::IterationRecord record;
   record.iteration = iteration_;
   double max_compute = 0;
@@ -266,6 +322,8 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
   const part::SubGraph& sub = *s.sub;
   const auto out = frontier.output();
   const CommStrategy strategy = problem_.config().comm;
+  const int nva = num_vertex_associates();
+  const int nvv = num_value_associates();
 
   // Writable view of the output queue for in-place compaction of the
   // local sub-frontier.
@@ -274,39 +332,61 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
 
   if (strategy == CommStrategy::kBroadcast) {
     // Each peer receives the whole generated frontier (duplicate-all
-    // guarantees local ID == global ID on every GPU).
-    const int nva = num_vertex_associates();
-    const int nvv = num_value_associates();
-    Message proto;
-    proto.vertices.assign(out.begin(), out.end());
-    proto.vertex_assoc.resize(nva);
-    proto.value_assoc.resize(nvv);
-    for (const VertexT v : out) fill_associates(s, v, proto);
-    for (int peer = 0; peer < n_; ++peer) {
-      if (peer == s.gpu) continue;
-      bus_->push(s.gpu, peer, proto);  // copy per peer
+    // guarantees local ID == global ID on every GPU). Package once
+    // into the slice's persistent prototype — one batched gather pass
+    // per associate slot — then stamp a pooled copy out per peer.
+    if (!out.empty()) {
+      Message& proto = s.broadcast_proto;
+      proto.recycle();
+      proto.set_layout(nva, nvv, out.size());
+      std::copy(out.begin(), out.end(), proto.vertices.begin());
+      for (int slot = 0; slot < nva; ++slot) {
+        fill_vertex_associates(s, slot, out, proto.vertex_slot(slot).data());
+      }
+      for (int slot = 0; slot < nvv; ++slot) {
+        fill_value_associates(s, slot, out, proto.value_slot(slot).data());
+      }
+      for (int peer = 0; peer < n_; ++peer) {
+        if (peer == s.gpu) continue;
+        Message message = bus_->acquire();
+        message.assign_from(proto);
+        bus_->push(s.gpu, peer, std::move(message));
+      }
     }
     for (const VertexT v : out) {
       if (sub.is_hosted(v)) raw[local_count++] = v;
     }
   } else {
-    std::vector<Message> outbox(n_);
-    for (auto& m : outbox) {
-      m.vertex_assoc.resize(num_vertex_associates());
-      m.value_assoc.resize(num_value_associates());
-    }
+    // Selective: route pass first (compact the local sub-frontier in
+    // place, gather each remote vertex's sender-local ID per peer),
+    // then one packaging pass per peer with one batched gather per
+    // associate slot.
+    for (auto& sources : s.peer_sources) sources.clear();
     for (const VertexT v : out) {
       if (sub.is_hosted(v)) {
         raw[local_count++] = v;
       } else {
-        const int owner = sub.owner[v];
-        outbox[owner].vertices.push_back(sub.host_local_id[v]);
-        fill_associates(s, v, outbox[owner]);
+        s.peer_sources[sub.owner[v]].push_back(v);
       }
     }
     for (int peer = 0; peer < n_; ++peer) {
-      if (peer == s.gpu || outbox[peer].empty()) continue;
-      bus_->push(s.gpu, peer, std::move(outbox[peer]));
+      const std::vector<VertexT>& sources = s.peer_sources[peer];
+      if (peer == s.gpu || sources.empty()) continue;
+      Message message = bus_->acquire();
+      message.set_layout(nva, nvv, sources.size());
+      // Translate to receiver-local IDs (the conversion-table pass).
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        message.vertices[i] = sub.host_local_id[sources[i]];
+      }
+      for (int slot = 0; slot < nva; ++slot) {
+        fill_vertex_associates(s, slot, sources,
+                               message.vertex_slot(slot).data());
+      }
+      for (int slot = 0; slot < nvv; ++slot) {
+        fill_value_associates(s, slot, sources,
+                              message.value_slot(slot).data());
+      }
+      bus_->push(s.gpu, peer, std::move(message));
     }
   }
 

@@ -19,7 +19,8 @@
 //     max over GPUs of (compute + communication) plus l(n).
 //
 // A primitive extends this class and implements iteration_core() and
-// expand_incoming(); optionally fill_associates() (what to send),
+// expand_incoming(); optionally the batched associate-packaging hooks
+// fill_vertex_associates() / fill_value_associates() (what to send),
 // communicate() (for non-frontier-shaped communication like PR's rank
 // pushes), begin_iteration() (e.g. DOBFS's global direction decision),
 // and extra_stop().
@@ -55,6 +56,12 @@ class EnactorBase {
     util::AtomicBitset dedup;
     OpContext ctx;
     std::uint64_t combine_items = 0;  ///< C: received items processed
+    /// Comm-packaging scratch, reused across iterations so steady-state
+    /// packaging allocates nothing: per-peer sender-local source IDs
+    /// (the gather indices for the batched associate passes) and the
+    /// broadcast prototype that is stamped out per peer.
+    std::vector<std::vector<VertexT>> peer_sources;
+    Message broadcast_proto;
   };
 
   explicit EnactorBase(ProblemBase& problem);
@@ -102,9 +109,18 @@ class EnactorBase {
   virtual int num_vertex_associates() const { return 0; }
   virtual int num_value_associates() const { return 0; }
 
-  /// Append the associates of local vertex `v` to the message being
-  /// packaged (called once per remote frontier vertex).
-  virtual void fill_associates(Slice& s, VertexT v, Message& msg);
+  /// Batched associate packaging: write the slot-`slot` VertexT
+  /// associate of sender-local vertex `sources[i]` to `out[i]`. Called
+  /// once per (message, slot) — a virtual-kernel-shaped gather pass —
+  /// instead of once per remote frontier vertex. Only invoked for
+  /// slots < num_vertex_associates().
+  virtual void fill_vertex_associates(Slice& s, int slot,
+                                      std::span<const VertexT> sources,
+                                      VertexT* out);
+  /// Same for ValueT associates (slots < num_value_associates()).
+  virtual void fill_value_associates(Slice& s, int slot,
+                                     std::span<const VertexT> sources,
+                                     ValueT* out);
 
   /// Expand_Incoming: merge one received message into local data,
   /// appending vertices that join the next input frontier via
@@ -145,8 +161,13 @@ class EnactorBase {
 
   void worker(int gpu);
   void run_loop(int gpu);
-  void close_iteration();  // barrier completion, runs exclusively
-  void record_error();
+  void close_iteration();       // barrier completion, runs exclusively
+  void close_iteration_body();  // the fallible part of the above
+  /// Record the current exception against `slot` (a GPU index, or n_
+  /// for errors raised by the exclusive close_iteration step) and
+  /// raise the shared error flag so every surviving participant skips
+  /// its hooks, reaches both barriers, and drains out of the loop.
+  void record_error(int slot);
   bool has_error() const {
     return error_flag_.load(std::memory_order_acquire);
   }
@@ -168,7 +189,10 @@ class EnactorBase {
   std::atomic<bool> stop_flag_{false};
   std::atomic<bool> error_flag_{false};
   std::mutex error_mutex_;
-  std::exception_ptr error_;
+  /// One slot per GPU plus one for close_iteration, so enact() can
+  /// rethrow deterministically (lowest GPU first, then the framework
+  /// slot) no matter which thread lost the race to record first.
+  std::vector<std::exception_ptr> errors_;
 
   std::uint64_t iteration_ = 0;
   vgpu::RunStats run_stats_;

@@ -151,44 +151,54 @@ void BcEnactor::communicate_forward(Slice& s) {
   }
 
   // (a) Selective sigma partials for remote-discovered vertices; the
-  // local sub-frontier is compacted in place.
+  // local sub-frontier is compacted in place. Route into the slice's
+  // per-peer scratch, then package one pooled message per peer.
   VertexT* raw = const_cast<VertexT*>(out.data());
   SizeT local_count = 0;
-  std::vector<core::Message> outbox(n);
-  for (auto& m : outbox) {
-    m.tag = kSigmaPartial;
-    m.value_assoc.resize(1);
-  }
+  for (auto& sources : s.peer_sources) sources.clear();
   for (const VertexT v : out) {
     if (sub.is_hosted(v)) {
       raw[local_count++] = v;
     } else {
-      const int owner = sub.owner[v];
-      outbox[owner].vertices.push_back(v);  // duplicate-all: IDs global
-      outbox[owner].value_assoc[0].push_back(
-          static_cast<ValueT>(d.sigma_acc[v]));
-      d.sigma_acc[v] = 0;  // partial handed off
+      s.peer_sources[sub.owner[v]].push_back(v);  // duplicate-all: global
     }
   }
   for (int peer = 0; peer < n; ++peer) {
-    if (peer == s.gpu || outbox[peer].empty()) continue;
-    bus().push(s.gpu, peer, std::move(outbox[peer]));
+    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    if (peer == s.gpu || sources.empty()) continue;
+    core::Message msg = bus().acquire();
+    msg.tag = kSigmaPartial;
+    msg.set_layout(0, 1, sources.size());
+    const auto sigma_out = msg.value_slot(0);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const VertexT v = sources[i];
+      msg.vertices[i] = v;
+      sigma_out[i] = static_cast<ValueT>(d.sigma_acc[v]);
+      d.sigma_acc[v] = 0;  // partial handed off
+    }
+    bus().push(s.gpu, peer, std::move(msg));
   }
 
   // (b) Broadcast this level's finalized (vertex, sigma) pairs so every
   // replica has authoritative depth and sigma for the backward pass.
+  // Package once into the slice prototype, stamp a pooled copy per peer.
   const VertexT level = static_cast<VertexT>(iteration());
   if (level < d.levels.size() && !d.levels[level].empty()) {
-    core::Message finalized;
-    finalized.tag = kFinalizedLevel;
-    finalized.value_assoc.resize(1);
-    for (const VertexT v : d.levels[level]) {
-      finalized.vertices.push_back(v);
-      finalized.value_assoc[0].push_back(static_cast<ValueT>(d.sigma[v]));
+    const auto& lvl = d.levels[level];
+    core::Message& proto = s.broadcast_proto;
+    proto.recycle();
+    proto.tag = kFinalizedLevel;
+    proto.set_layout(0, 1, lvl.size());
+    const auto sigma_out = proto.value_slot(0);
+    for (std::size_t i = 0; i < lvl.size(); ++i) {
+      proto.vertices[i] = lvl[i];
+      sigma_out[i] = static_cast<ValueT>(d.sigma[lvl[i]]);
     }
     for (int peer = 0; peer < n; ++peer) {
       if (peer == s.gpu) continue;
-      bus().push(s.gpu, peer, finalized);
+      core::Message msg = bus().acquire();
+      msg.assign_from(proto);
+      bus().push(s.gpu, peer, std::move(msg));
     }
   }
 
@@ -206,22 +216,25 @@ void BcEnactor::communicate_backward(Slice& s) {
     return;
   }
   // Selective delta partials for proxy parents touched this level.
-  std::vector<core::Message> outbox(n);
-  for (auto& m : outbox) {
-    m.tag = kDeltaPartial;
-    m.value_assoc.resize(1);
-  }
+  for (auto& sources : s.peer_sources) sources.clear();
   for (const VertexT p : d.border) {
     if (d.delta_acc[p] == 0) continue;
-    const int owner = sub.owner[p];
-    outbox[owner].vertices.push_back(p);
-    outbox[owner].value_assoc[0].push_back(
-        static_cast<ValueT>(d.delta_acc[p]));
-    d.delta_acc[p] = 0;
+    s.peer_sources[sub.owner[p]].push_back(p);
   }
   for (int peer = 0; peer < n; ++peer) {
-    if (peer == s.gpu || outbox[peer].empty()) continue;
-    bus().push(s.gpu, peer, std::move(outbox[peer]));
+    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    if (peer == s.gpu || sources.empty()) continue;
+    core::Message msg = bus().acquire();
+    msg.tag = kDeltaPartial;
+    msg.set_layout(0, 1, sources.size());
+    const auto delta_out = msg.value_slot(0);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const VertexT p = sources[i];
+      msg.vertices[i] = p;
+      delta_out[i] = static_cast<ValueT>(d.delta_acc[p]);
+      d.delta_acc[p] = 0;
+    }
+    bus().push(s.gpu, peer, std::move(msg));
   }
   s.device->add_kernel_cost(0, d.border.size(), 1);
   s.frontier.swap();
@@ -229,6 +242,7 @@ void BcEnactor::communicate_backward(Slice& s) {
 
 void BcEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
+  const auto values_in = msg.value_slot(0);
   switch (msg.tag) {
     case kSigmaPartial: {
       const VertexT next_level = static_cast<VertexT>(iteration()) + 1;
@@ -240,7 +254,7 @@ void BcEnactor::expand_incoming(Slice& s, const core::Message& msg) {
         } else if (d.depth[v] != next_level) {
           continue;  // not a shortest path (stale replica on sender)
         }
-        d.sigma_acc[v] += msg.value_assoc[0][i];
+        d.sigma_acc[v] += values_in[i];
       }
       break;
     }
@@ -250,13 +264,13 @@ void BcEnactor::expand_incoming(Slice& s, const core::Message& msg) {
       for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
         const VertexT v = msg.vertices[i];
         d.depth[v] = level;
-        d.sigma[v] = msg.value_assoc[0][i];
+        d.sigma[v] = values_in[i];
       }
       break;
     }
     case kDeltaPartial: {
       for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
-        d.delta_acc[msg.vertices[i]] += msg.value_assoc[0][i];
+        d.delta_acc[msg.vertices[i]] += values_in[i];
       }
       break;
     }

@@ -76,20 +76,26 @@ int BfsEnactor::num_vertex_associates() const {
   return bfs_problem_.config().mark_predecessors ? 1 : 0;
 }
 
-void BfsEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
-  if (!bfs_problem_.config().mark_predecessors) return;
-  msg.vertex_assoc[0].push_back(bfs_problem_.data(s.gpu).preds[v]);
+void BfsEnactor::fill_vertex_associates(Slice& s, int /*slot*/,
+                                        std::span<const VertexT> sources,
+                                        VertexT* out) {
+  const auto& preds = bfs_problem_.data(s.gpu).preds;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = preds[sources[i]];
+  }
 }
 
 void BfsEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   BfsProblem::DataSlice& d = bfs_problem_.data(s.gpu);
   const bool mark_preds = bfs_problem_.config().mark_predecessors;
   const VertexT label = static_cast<VertexT>(iteration()) + 1;
+  const auto preds_in =
+      mark_preds ? msg.vertex_slot(0) : std::span<const VertexT>{};
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
     const VertexT v = msg.vertices[i];
     if (d.labels[v] != kInvalidVertex) continue;  // already visited
     d.labels[v] = label;
-    if (mark_preds) d.preds[v] = msg.vertex_assoc[0][i];
+    if (mark_preds) d.preds[v] = preds_in[i];
     s.frontier.append_input(v);
   }
 }

@@ -93,17 +93,23 @@ void CcEnactor::iteration_core(Slice& s) {
   s.device->add_kernel_cost(0, sub.num_total(), 1);
 }
 
-void CcEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
-  msg.vertex_assoc[0].push_back(cc_problem_.data(s.gpu).comp[v]);
+void CcEnactor::fill_vertex_associates(Slice& s, int /*slot*/,
+                                       std::span<const VertexT> sources,
+                                       VertexT* out) {
+  const auto& comp = cc_problem_.data(s.gpu).comp;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = comp[sources[i]];
+  }
 }
 
 void CcEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   // Combiner: keep the minimum component ID; changed vertices keep the
   // iteration alive so the lower label can propagate locally.
   CcProblem::DataSlice& d = cc_problem_.data(s.gpu);
+  const auto comp_in = msg.vertex_slot(0);
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
     const VertexT v = msg.vertices[i];
-    const VertexT received = msg.vertex_assoc[0][i];
+    const VertexT received = comp_in[i];
     if (received < d.comp[v]) {
       d.comp[v] = received;
       s.frontier.append_input(v);

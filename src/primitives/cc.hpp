@@ -56,7 +56,9 @@ class CcEnactor : public core::EnactorBase {
  protected:
   void iteration_core(Slice& s) override;
   int num_vertex_associates() const override { return 1; }
-  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void fill_vertex_associates(Slice& s, int slot,
+                              std::span<const VertexT> sources,
+                              VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
 
  private:

@@ -154,9 +154,13 @@ int DobfsEnactor::num_vertex_associates() const {
   return dobfs_problem_.config().mark_predecessors ? 1 : 0;
 }
 
-void DobfsEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
-  if (!dobfs_problem_.config().mark_predecessors) return;
-  msg.vertex_assoc[0].push_back(dobfs_problem_.data(s.gpu).preds[v]);
+void DobfsEnactor::fill_vertex_associates(Slice& s, int /*slot*/,
+                                          std::span<const VertexT> sources,
+                                          VertexT* out) {
+  const auto& preds = dobfs_problem_.data(s.gpu).preds;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = preds[sources[i]];
+  }
 }
 
 void DobfsEnactor::expand_incoming(Slice& s, const core::Message& msg) {
@@ -164,11 +168,13 @@ void DobfsEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   const bool mark_preds = dobfs_problem_.config().mark_predecessors;
   const VertexT label = static_cast<VertexT>(iteration()) + 1;
   const part::SubGraph& sub = *s.sub;
+  const auto preds_in =
+      mark_preds ? msg.vertex_slot(0) : std::span<const VertexT>{};
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
     const VertexT v = msg.vertices[i];
     if (d.labels[v] != kInvalidVertex) continue;
     d.labels[v] = label;
-    if (mark_preds) d.preds[v] = msg.vertex_assoc[0][i];
+    if (mark_preds) d.preds[v] = preds_in[i];
     if (sub.is_hosted(v)) {
       ++visited_hosted_[s.gpu];
       s.frontier.append_input(v);

@@ -80,7 +80,9 @@ class DobfsEnactor : public core::EnactorBase {
  protected:
   void iteration_core(Slice& s) override;
   int num_vertex_associates() const override;
-  void fill_associates(Slice& s, VertexT v, core::Message& msg) override;
+  void fill_vertex_associates(Slice& s, int slot,
+                              std::span<const VertexT> sources,
+                              VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   void begin_iteration(std::uint64_t iteration) override;
 

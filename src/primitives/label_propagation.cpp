@@ -94,8 +94,13 @@ void LpEnactor::iteration_core(Slice& s) {
   s.device->add_kernel_cost(edge_work, d.hosted.size(), 2);
 }
 
-void LpEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
-  msg.vertex_assoc[0].push_back(lp_problem_.data(s.gpu).label[v]);
+void LpEnactor::fill_vertex_associates(Slice& s, int /*slot*/,
+                                       std::span<const VertexT> sources,
+                                       VertexT* out) {
+  const auto& label = lp_problem_.data(s.gpu).label;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = label[sources[i]];
+  }
 }
 
 void LpEnactor::expand_incoming(Slice& s, const core::Message& msg) {
@@ -103,9 +108,10 @@ void LpEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   // replicas adopt the labels verbatim. A change anywhere keeps the
   // iteration alive via the frontier.
   LpProblem::DataSlice& d = lp_problem_.data(s.gpu);
+  const auto label_in = msg.vertex_slot(0);
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
     const VertexT v = msg.vertices[i];
-    const VertexT label = msg.vertex_assoc[0][i];
+    const VertexT label = label_in[i];
     if (d.label[v] != label) {
       d.label[v] = label;
       s.frontier.append_input(v);

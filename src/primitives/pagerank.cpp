@@ -87,21 +87,29 @@ void PagerankEnactor::communicate(Slice& s) {
     return;
   }
   // Push each border proxy's accumulated rank to its host GPU. The
-  // vertex set is static; only the values change (Algorithm 3).
+  // vertex set is static; only the values change (Algorithm 3). Route
+  // first (reusing the slice's per-peer scratch), then package one
+  // pooled message per peer so the steady state allocates nothing.
   PagerankProblem::DataSlice& d = pr_problem_.data(s.gpu);
   const part::SubGraph& sub = *s.sub;
-  std::vector<core::Message> outbox(num_gpus());
-  for (auto& m : outbox) m.value_assoc.resize(1);
+  for (auto& sources : s.peer_sources) sources.clear();
   for (const VertexT p : d.border) {
     if (d.acc[p] == 0) continue;
-    const int owner = sub.owner[p];
-    outbox[owner].vertices.push_back(sub.host_local_id[p]);
-    outbox[owner].value_assoc[0].push_back(d.acc[p]);
-    d.acc[p] = 0;
+    s.peer_sources[sub.owner[p]].push_back(p);
   }
   for (int peer = 0; peer < num_gpus(); ++peer) {
-    if (peer == s.gpu || outbox[peer].empty()) continue;
-    bus().push(s.gpu, peer, std::move(outbox[peer]));
+    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    if (peer == s.gpu || sources.empty()) continue;
+    core::Message msg = bus().acquire();
+    msg.set_layout(0, 1, sources.size());
+    const auto acc_out = msg.value_slot(0);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const VertexT p = sources[i];
+      msg.vertices[i] = sub.host_local_id[p];
+      acc_out[i] = d.acc[p];
+      d.acc[p] = 0;
+    }
+    bus().push(s.gpu, peer, std::move(msg));
   }
   s.device->add_kernel_cost(0, d.border.size(), 1);
   s.frontier.swap();
@@ -110,8 +118,9 @@ void PagerankEnactor::communicate(Slice& s) {
 void PagerankEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   // Combiner: atomicAdd of received partial ranks (Algorithm 3).
   PagerankProblem::DataSlice& d = pr_problem_.data(s.gpu);
+  const auto acc_in = msg.value_slot(0);
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
-    d.acc[msg.vertices[i]] += msg.value_assoc[0][i];
+    d.acc[msg.vertices[i]] += acc_in[i];
   }
 }
 

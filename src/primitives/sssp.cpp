@@ -102,23 +102,36 @@ int SsspEnactor::num_vertex_associates() const {
   return sssp_problem_.config().mark_predecessors ? 1 : 0;
 }
 
-void SsspEnactor::fill_associates(Slice& s, VertexT v, core::Message& msg) {
-  SsspProblem::DataSlice& d = sssp_problem_.data(s.gpu);
-  msg.value_assoc[0].push_back(d.dist[v]);
-  if (sssp_problem_.config().mark_predecessors) {
-    msg.vertex_assoc[0].push_back(d.preds[v]);
+void SsspEnactor::fill_vertex_associates(Slice& s, int /*slot*/,
+                                         std::span<const VertexT> sources,
+                                         VertexT* out) {
+  const auto& preds = sssp_problem_.data(s.gpu).preds;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = preds[sources[i]];
+  }
+}
+
+void SsspEnactor::fill_value_associates(Slice& s, int /*slot*/,
+                                        std::span<const VertexT> sources,
+                                        ValueT* out) {
+  const auto& dist = sssp_problem_.data(s.gpu).dist;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out[i] = dist[sources[i]];
   }
 }
 
 void SsspEnactor::expand_incoming(Slice& s, const core::Message& msg) {
   SsspProblem::DataSlice& d = sssp_problem_.data(s.gpu);
   const bool mark_preds = sssp_problem_.config().mark_predecessors;
+  const auto dist_in = msg.value_slot(0);
+  const auto preds_in =
+      mark_preds ? msg.vertex_slot(0) : std::span<const VertexT>{};
   for (std::size_t i = 0; i < msg.vertices.size(); ++i) {
     const VertexT v = msg.vertices[i];
-    const ValueT received = msg.value_assoc[0][i];
+    const ValueT received = dist_in[i];
     if (received >= d.dist[v]) continue;  // combiner: take the minimum
     d.dist[v] = received;
-    if (mark_preds) d.preds[v] = msg.vertex_assoc[0][i];
+    if (mark_preds) d.preds[v] = preds_in[i];
     s.frontier.append_input(v);
   }
 }

@@ -1,0 +1,58 @@
+// A std::vector whose resize() default-initializes instead of
+// value-initializing.
+//
+// The comm layer's pooled message buffers are sized with resize() every
+// iteration and then fully overwritten by the packaging gathers. With
+// the standard allocator, growing a recycled (size 0, warm capacity)
+// vector value-initializes every element — a redundant zero-fill pass
+// over the whole payload before the real data lands. For trivial
+// element types that pass is pure overhead; the allocator below makes
+// default-inserted elements default-initialized (i.e. left
+// uninitialized for PODs), which removes it while keeping the full
+// std::vector API and allocation behavior.
+//
+// Only use PodVector where every exposed element is written before it
+// is read, as the message packaging paths do.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mgg::util {
+
+template <class T, class A = std::allocator<T>>
+class default_init_allocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <class U>
+  struct rebind {
+    using other =
+        default_init_allocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  /// Default-insertion (what resize() uses for new elements):
+  /// default-initialize, which is a no-op for trivial types.
+  template <class U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  /// Every other construction (copy, move, emplace) behaves exactly
+  /// like the underlying allocator.
+  template <class U, class... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+/// Vector of trivial elements with uninitialized growth.
+template <class T>
+using PodVector = std::vector<T, default_init_allocator<T>>;
+
+}  // namespace mgg::util

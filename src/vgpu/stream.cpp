@@ -14,10 +14,34 @@ Stream::~Stream() {
   if (worker_.joinable()) worker_.join();
 }
 
-void Stream::submit(std::function<void()> task) {
+void Stream::ring_grow() {
+  const std::size_t capacity = ring_capacity_ == 0 ? 64 : ring_capacity_ * 2;
+  auto grown = std::make_unique<Task[]>(capacity);
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    grown[i] = std::move(ring_[(ring_head_ + i) % ring_capacity_]);
+  }
+  ring_ = std::move(grown);
+  ring_capacity_ = capacity;
+  ring_head_ = 0;
+}
+
+void Stream::ring_push(Task task) {
+  if (ring_count_ == ring_capacity_) ring_grow();
+  ring_[(ring_head_ + ring_count_) % ring_capacity_] = std::move(task);
+  ++ring_count_;
+}
+
+Task Stream::ring_pop() {
+  Task task = std::move(ring_[ring_head_]);
+  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  --ring_count_;
+  return task;
+}
+
+void Stream::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push_back(std::move(task));
+    ring_push(std::move(task));
     ++in_flight_;
   }
   cv_.notify_all();
@@ -45,13 +69,12 @@ void Stream::synchronize() {
 
 void Stream::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping with a drained queue
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      cv_.wait(lock, [this] { return stopping_ || ring_count_ != 0; });
+      if (ring_count_ == 0) return;  // stopping with a drained queue
+      task = ring_pop();
     }
     try {
       task();
@@ -61,6 +84,10 @@ void Stream::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // Release the closure (and any Message it owns) before the
+      // in-flight count drops: synchronize() returning must imply all
+      // task side effects, including destructors, are done.
+      task = Task{};
       --in_flight_;
     }
     cv_.notify_all();

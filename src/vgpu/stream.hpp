@@ -7,15 +7,23 @@
 // queue drained by its own worker thread; an Event is a one-shot
 // broadcast flag; Stream::wait_event() enqueues a task that blocks the
 // stream (not the host) until the event fires.
+//
+// Tasks are stored in a Task (a move-only callable with inline storage
+// sized for the comm layer's message-push closures) inside a growable
+// ring buffer, so steady-state submission performs no heap allocation
+// — a std::function/std::deque queue would allocate per push and per
+// deque block, which the zero-allocation comm hot path cannot afford.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
-#include <functional>
+#include <cstddef>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 
 namespace mgg::vgpu {
 
@@ -51,6 +59,100 @@ class Event {
   std::shared_ptr<State> state_;
 };
 
+/// Move-only type-erased callable with inline storage. Closures up to
+/// kInlineBytes (chosen to fit a CommBus push task: routing metadata
+/// plus a flat Message by value) live inside the Task itself; larger
+/// ones fall back to the heap.
+class Task {
+ public:
+  static constexpr std::size_t kInlineBytes = 160;
+
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (storage_) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      new (storage_) std::unique_ptr<Fn>(new Fn(std::forward<F>(f)));
+      ops_ = &BoxedOps<Fn>::kOps;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { destroy(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*relocate)(void* dst, void* src);  ///< move-construct + destroy src
+    void (*destroy)(void* src);
+    void (*invoke)(void* src);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void relocate(void* dst, void* src) {
+      new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* src) { static_cast<Fn*>(src)->~Fn(); }
+    static void invoke(void* src) { (*static_cast<Fn*>(src))(); }
+    static constexpr Ops kOps{&relocate, &destroy, &invoke};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    using Boxed = std::unique_ptr<Fn>;
+    static void relocate(void* dst, void* src) {
+      new (dst) Boxed(std::move(*static_cast<Boxed*>(src)));
+      static_cast<Boxed*>(src)->~Boxed();
+    }
+    static void destroy(void* src) { static_cast<Boxed*>(src)->~Boxed(); }
+    static void invoke(void* src) { (**static_cast<Boxed*>(src))(); }
+    static constexpr Ops kOps{&relocate, &destroy, &invoke};
+  };
+
+  void move_from(Task& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 /// In-order asynchronous task queue, analogous to cudaStream_t.
 ///
 /// submit() returns immediately; tasks run in submission order on the
@@ -65,8 +167,10 @@ class Stream {
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
-  /// Enqueue a task. Never blocks the caller.
-  void submit(std::function<void()> task);
+  /// Enqueue a task. Never blocks the caller; allocation-free once the
+  /// ring has grown to the steady-state depth and the closure fits
+  /// Task's inline storage.
+  void submit(Task task);
 
   /// Enqueue an event that fires when all prior work completes.
   Event record_event();
@@ -84,10 +188,20 @@ class Stream {
  private:
   void worker_loop();
 
+  // Ring-buffer queue (caller must hold mutex_). Unlike a deque, a
+  // ring never releases blocks on pop, so a warm queue churns with
+  // zero allocations.
+  void ring_push(Task task);
+  Task ring_pop();
+  void ring_grow();
+
   std::string name_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::unique_ptr<Task[]> ring_;
+  std::size_t ring_capacity_ = 0;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
   std::exception_ptr pending_error_;
   bool stopping_ = false;
   std::size_t in_flight_ = 0;  ///< queued + currently executing

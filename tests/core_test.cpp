@@ -7,6 +7,7 @@
 #include "core/operators.hpp"
 #include "graph/generators.hpp"
 #include "primitives/bfs.hpp"
+#include "primitives/sssp.hpp"
 #include "test_support.hpp"
 
 namespace mgg {
@@ -230,16 +231,20 @@ TEST(Operators, ComputeVisitsAll) {
 TEST(CommBus, DeliversToInbox) {
   auto machine = test::test_machine(2);
   core::CommBus bus(machine);
-  Message msg;
+  Message msg = bus.acquire();
+  msg.set_layout(0, 1, 3);
   msg.vertices = {1, 2, 3};
-  msg.value_assoc.push_back({1.0f, 2.0f, 3.0f});
+  const auto values = msg.value_slot(0);
+  values[0] = 1.0f;
+  values[1] = 2.0f;
+  values[2] = 3.0f;
   bus.push(0, 1, std::move(msg));
   machine.device(0).comm_stream().synchronize();
-  const auto received = bus.drain(1);
+  const auto& received = bus.drain(1);
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0].src_gpu, 0);
   EXPECT_EQ(received[0].vertices.size(), 3u);
-  EXPECT_FLOAT_EQ(received[0].value_assoc[0][2], 3.0f);
+  EXPECT_FLOAT_EQ(received[0].value_slot(0)[2], 3.0f);
   EXPECT_TRUE(bus.drain(1).empty());  // drained
 }
 
@@ -275,11 +280,130 @@ TEST(CommBus, SelfPushRejected) {
 
 TEST(Message, PayloadBytes) {
   Message msg;
+  msg.set_layout(1, 1, 2);
   msg.vertices = {1, 2};
-  msg.vertex_assoc.push_back({3, 4});
-  msg.value_assoc.push_back({0.5f, 0.25f});
+  const auto va = msg.vertex_slot(0);
+  va[0] = 3;
+  va[1] = 4;
+  const auto vv = msg.value_slot(0);
+  vv[0] = 0.5f;
+  vv[1] = 0.25f;
   EXPECT_EQ(msg.payload_bytes(),
             2 * sizeof(VertexT) + 2 * sizeof(VertexT) + 2 * sizeof(ValueT));
+}
+
+TEST(Message, FlatSlotLayoutIsSlotMajor) {
+  Message msg;
+  msg.set_layout(2, 1, 3);
+  EXPECT_EQ(msg.vertex_assoc.size(), 6u);
+  EXPECT_EQ(msg.value_assoc.size(), 3u);
+  // Slot a of k associates occupies [a*n, (a+1)*n).
+  msg.vertex_slot(0)[1] = 41;
+  msg.vertex_slot(1)[1] = 42;
+  EXPECT_EQ(msg.vertex_assoc[1], 41);
+  EXPECT_EQ(msg.vertex_assoc[4], 42);
+}
+
+TEST(Message, RecycleKeepsCapacity) {
+  Message msg;
+  msg.set_layout(1, 1, 100);
+  const auto vcap = msg.vertices.capacity();
+  const auto acap = msg.vertex_assoc.capacity();
+  msg.recycle();
+  EXPECT_TRUE(msg.empty());
+  EXPECT_EQ(msg.vertex_slots, 0);
+  EXPECT_EQ(msg.vertices.capacity(), vcap);
+  EXPECT_EQ(msg.vertex_assoc.capacity(), acap);
+}
+
+TEST(CommBus, PoolRecyclesDrainedMessages) {
+  auto machine = test::test_machine(2);
+  core::CommBus bus(machine);
+  EXPECT_EQ(bus.pool_size(), 0u);
+  Message msg = bus.acquire();
+  msg.set_layout(0, 0, 4);
+  msg.vertices = {1, 2, 3, 4};
+  const VertexT* storage = msg.vertices.data();
+  bus.push(0, 1, std::move(msg));
+  machine.device(0).comm_stream().synchronize();
+  {
+    const auto& received = bus.drain(1);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].vertices.data(), storage);  // no copy en route
+  }
+  bus.release_drained(1);
+  EXPECT_EQ(bus.pool_size(), 1u);
+  // The recycled message hands back the same buffer, emptied.
+  Message again = bus.acquire();
+  EXPECT_EQ(bus.pool_size(), 0u);
+  EXPECT_TRUE(again.empty());
+  EXPECT_EQ(again.vertices.capacity() >= 4u, true);
+  EXPECT_EQ(again.vertices.data(), storage);
+  bus.release(std::move(again));
+  EXPECT_EQ(bus.pool_size(), 1u);
+}
+
+TEST(CommBus, DrainedBatchStableUntilNextDrain) {
+  auto machine = test::test_machine(3);
+  core::CommBus bus(machine);
+  for (int src : {0, 2}) {
+    Message msg = bus.acquire();
+    msg.set_layout(0, 0, 1);
+    msg.vertices[0] = static_cast<VertexT>(src);
+    bus.push(src, 1, std::move(msg));
+    machine.device(src).comm_stream().synchronize();
+  }
+  auto& batch = bus.drain(1);
+  ASSERT_EQ(batch.size(), 2u);
+  // Empty messages pushed elsewhere don't disturb receiver 1's batch.
+  bus.push(0, 2, bus.acquire());
+  machine.device(0).comm_stream().synchronize();
+  EXPECT_EQ(batch.size(), 2u);
+  bus.release_drained(1);
+  EXPECT_GE(bus.pool_size(), 2u);
+}
+
+// The broadcast strategy must carry vertex AND value associates
+// faithfully: SSSP with predecessor marking sends one of each kind per
+// frontier vertex. Run on 3 GPUs under broadcast + duplicate-all and
+// check against a single-GPU reference.
+TEST(Enactor, BroadcastCarriesVertexAndValueAssociates) {
+  const auto g = test::small_weighted_rmat(8, 8);
+  const VertexT src = test::first_connected_vertex(g);
+
+  auto ref_machine = test::test_machine(1);
+  auto ref_cfg = test::config_for(1);
+  ref_cfg.mark_predecessors = true;
+  const auto reference = prim::run_sssp(g, src, ref_machine, ref_cfg);
+
+  auto machine = test::test_machine(3);
+  auto cfg = test::config_for(3);
+  cfg.mark_predecessors = true;
+  cfg.comm = CommStrategy::kBroadcast;
+  cfg.duplication = part::Duplication::kAll;
+  const auto result = prim::run_sssp(g, src, machine, cfg);
+
+  ASSERT_EQ(result.dist.size(), reference.dist.size());
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    EXPECT_FLOAT_EQ(result.dist[v], reference.dist[v]) << "vertex " << v;
+  }
+  // Predecessors may differ between runs on ties, but each must close a
+  // tight edge: dist[pred] + w(pred, v) == dist[v].
+  ASSERT_EQ(result.preds.size(), g.num_vertices);
+  for (VertexT v = 0; v < g.num_vertices; ++v) {
+    if (v == src || result.preds[v] == kInvalidVertex) continue;
+    const VertexT p = result.preds[v];
+    const auto [begin, end] = g.edge_range(p);
+    bool tight = false;
+    for (SizeT e = begin; e < end; ++e) {
+      if (g.col_indices[e] == v &&
+          result.dist[p] + g.edge_values[e] == result.dist[v]) {
+        tight = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(tight) << "pred " << p << " -> " << v;
+  }
 }
 
 TEST(Problem, BroadcastRequiresDuplicateAll) {

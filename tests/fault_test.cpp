@@ -2,6 +2,8 @@
 // propagation out of the multi-threaded enactor.
 #include <gtest/gtest.h>
 
+#include <latch>
+
 #include "core/enactor.hpp"
 #include "core/problem.hpp"
 #include "primitives/bfs.hpp"
@@ -136,6 +138,153 @@ TEST(FaultInjection, ExceptionInWorkerSurfacesFromEnact) {
   enactor.seed_frontier(0, seed);
   const auto stats = enactor.enact();
   EXPECT_EQ(stats.iterations, 50u);
+}
+
+// A primitive whose *framework hooks* (converged / begin_iteration)
+// throw. These run inside the BSP barrier's exclusive completion
+// callback; an escaping exception there used to terminate the process
+// (std::barrier completion is noexcept-terminating) with every worker
+// stranded at the barrier. The enactor must instead convert it into
+// the regular stop-with-error protocol.
+class FaultyHooksEnactor : public core::EnactorBase {
+ public:
+  enum class Hook { kConverged, kBeginIteration };
+
+  FaultyHooksEnactor(FaultyProblem& problem, Hook hook,
+                     std::uint64_t faulty_iteration)
+      : core::EnactorBase(problem),
+        hook_(hook),
+        faulty_iteration_(faulty_iteration) {}
+
+  void arm() { armed_ = true; }
+  void disarm() { armed_ = false; }
+
+ protected:
+  void iteration_core(Slice& s) override {
+    const auto input = s.frontier.input();
+    VertexT* out = s.frontier.request_output(
+        static_cast<SizeT>(input.size()));
+    for (std::size_t i = 0; i < input.size(); ++i) out[i] = input[i];
+    s.frontier.commit_output(static_cast<SizeT>(input.size()));
+  }
+  void expand_incoming(Slice& s, const core::Message& msg) override {
+    for (const VertexT v : msg.vertices) s.frontier.append_input(v);
+  }
+  bool converged(bool all_empty, std::uint64_t iteration) override {
+    if (armed_ && hook_ == Hook::kConverged &&
+        iteration >= faulty_iteration_) {
+      throw Error(Status::kInternal, "injected converged fault");
+    }
+    return core::EnactorBase::converged(all_empty, iteration);
+  }
+  void begin_iteration(std::uint64_t iteration) override {
+    if (armed_ && hook_ == Hook::kBeginIteration &&
+        iteration >= faulty_iteration_ && iteration > 0) {
+      throw Error(Status::kInternal, "injected begin_iteration fault");
+    }
+  }
+
+ private:
+  Hook hook_;
+  std::uint64_t faulty_iteration_;
+  bool armed_ = false;
+};
+
+TEST(FaultInjection, ThrowingConvergedHookSurfacesAndUnblocksWorkers) {
+  const auto g = test::small_rmat(6, 4);
+  auto machine = test::test_machine(3);
+  core::Config cfg;
+  cfg.num_gpus = 3;
+  cfg.max_iterations = 50;
+  FaultyProblem problem;
+  problem.init(g, machine, cfg);
+  FaultyHooksEnactor enactor(problem,
+                             FaultyHooksEnactor::Hook::kConverged,
+                             /*faulty_iteration=*/2);
+  const VertexT seed[] = {0};
+  enactor.seed_frontier(0, seed);
+  enactor.arm();
+  try {
+    enactor.enact();
+    FAIL() << "expected injected converged fault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected converged fault"),
+              std::string::npos);
+  }
+  // Every worker must have drained out of the loop: the enactor is
+  // reusable for a clean run.
+  enactor.disarm();
+  enactor.reset_frontiers();
+  enactor.seed_frontier(0, seed);
+  const auto stats = enactor.enact();
+  EXPECT_EQ(stats.iterations, 50u);
+}
+
+TEST(FaultInjection, ThrowingBeginIterationHookSurfaces) {
+  const auto g = test::small_rmat(6, 4);
+  auto machine = test::test_machine(2);
+  core::Config cfg;
+  cfg.num_gpus = 2;
+  cfg.max_iterations = 50;
+  FaultyProblem problem;
+  problem.init(g, machine, cfg);
+  FaultyHooksEnactor enactor(problem,
+                             FaultyHooksEnactor::Hook::kBeginIteration,
+                             /*faulty_iteration=*/3);
+  const VertexT seed[] = {0};
+  enactor.seed_frontier(1, seed);
+  enactor.arm();
+  EXPECT_THROW(enactor.enact(), Error);
+  enactor.disarm();
+  enactor.reset_frontiers();
+  enactor.seed_frontier(1, seed);
+  EXPECT_NO_THROW(enactor.enact());
+}
+
+// When several GPUs fault in the same superstep, enact() must rethrow
+// deterministically (lowest GPU number wins), not whichever thread won
+// the race to record its exception.
+class MultiFaultEnactor : public core::EnactorBase {
+ public:
+  explicit MultiFaultEnactor(FaultyProblem& problem)
+      : core::EnactorBase(problem) {}
+
+ protected:
+  void iteration_core(Slice& s) override {
+    // Rendezvous before any worker throws: otherwise a fast first
+    // fault lets the remaining workers skip their iteration via the
+    // has_error() short-circuit, and the test would be asserting
+    // scheduling luck instead of the rethrow-ordering guarantee.
+    latch_.arrive_and_wait();
+    throw Error(Status::kInternal,
+                "injected fault on gpu " + std::to_string(s.gpu));
+  }
+  void expand_incoming(Slice&, const core::Message&) override {}
+
+ private:
+  std::latch latch_{4};
+};
+
+TEST(FaultInjection, ConcurrentFaultsRethrowLowestGpuFirst) {
+  const auto g = test::small_rmat(6, 4);
+  for (int round = 0; round < 20; ++round) {
+    auto machine = test::test_machine(4);
+    core::Config cfg;
+    cfg.num_gpus = 4;
+    FaultyProblem problem;
+    problem.init(g, machine, cfg);
+    MultiFaultEnactor enactor(problem);
+    const VertexT seed[] = {0};
+    enactor.seed_frontier(0, seed);
+    try {
+      enactor.enact();
+      FAIL() << "expected injected fault";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("injected fault on gpu 0"),
+                std::string::npos)
+          << "round " << round << " surfaced: " << e.what();
+    }
+  }
 }
 
 TEST(FaultInjection, FaultOnAnyGpuAnyIteration) {
