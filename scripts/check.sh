@@ -14,6 +14,15 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j
 
+echo "==> operator-pipeline property suite (explicit)"
+"$BUILD/tests/mgg_tests" --gtest_filter='OperatorPipeline.*'
+
+echo "==> micro_operators acceptance gate (writes BENCH_operators.json)"
+"$BUILD/bench/micro_operators" --json="$BUILD/BENCH_operators.json"
+
+echo "==> micro_comm acceptance gate"
+"$BUILD/bench/micro_comm"
+
 echo "==> tsan: build mgg_tests with -fsanitize=thread"
 cmake -B "$TSAN_BUILD" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -22,10 +31,13 @@ cmake -B "$TSAN_BUILD" -S . \
 cmake --build "$TSAN_BUILD" -j --target mgg_tests
 
 echo "==> tsan: core / fault / stream-stress suites"
-# The suites defined in core_test.cpp, fault_test.cpp and
-# stream_stress_test.cpp — the code paths where threads actually race.
+# The suites defined in core_test.cpp, operator_pipeline_test.cpp,
+# fault_test.cpp and stream_stress_test.cpp — the code paths where
+# threads actually race (dedup bitmaps and route scratch are touched
+# from the enactor's per-GPU threads).
 TSAN_FILTER='Message.*:CommBus.*:Frontier.*:Operators.*:Problem.*'
 TSAN_FILTER+=':Enactor.*:Oom.*:FaultInjection.*:StreamStress.*'
+TSAN_FILTER+=':OperatorPipeline.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

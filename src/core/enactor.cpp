@@ -21,7 +21,6 @@ EnactorBase::EnactorBase(ProblemBase& problem)
     s->frontier.init(*s->device, cfg.scheme, csr.num_vertices,
                      csr.num_edges);
     s->dedup.resize(csr.num_vertices);
-    s->peer_sources.resize(n_);
 
     // The split (non-fused) pipeline keeps an intermediate advance
     // buffer whose size is the allocation scheme's signature (§VI-B):
@@ -133,8 +132,16 @@ vgpu::RunStats EnactorBase::enact() {
   }
   barrier_phase_ = 0;
   bus_->reset();
+  // Dense frontiers are strictly opt-in: the threshold only reaches the
+  // operator contexts when the primitive declares support. Wired here
+  // (not the constructor) because dense_frontier_capable() is virtual.
+  const double dense_threshold =
+      dense_frontier_capable() ? problem_.config().dense_threshold : 0.0;
+  std::uint64_t dense_switch_base = 0;
   for (auto& s : slices_) {
     s->combine_items = 0;
+    s->ctx.dense_threshold = dense_threshold;
+    dense_switch_base += s->frontier.dense_switches();
     s->device->harvest_iteration();  // drop stale counters
   }
   begin_iteration(0);
@@ -157,6 +164,10 @@ vgpu::RunStats EnactorBase::enact() {
   }
   run_stats_.wall_s = timer.seconds();
   run_stats_.total_combine_items = total_combine_items();
+  for (const auto& s : slices_) {
+    run_stats_.dense_switches += s->frontier.dense_switches();
+  }
+  run_stats_.dense_switches -= dense_switch_base;
 
   // Deterministic rethrow: the lowest-numbered GPU's error wins, then
   // the close_iteration slot — regardless of which thread recorded
@@ -292,6 +303,7 @@ void EnactorBase::close_iteration_body() {
   bool all_empty = true;
   for (const auto& s : slices_) {
     record.frontier_total += s->frontier.input_size();
+    record.dense_gpus += s->frontier.last_advance_dense() ? 1 : 0;
     if (s->frontier.input_size() != 0) {
       all_empty = false;
     }
@@ -313,6 +325,30 @@ void EnactorBase::communicate(Slice& s) {
   split_frontier_and_push(s);
 }
 
+SizeT EnactorBase::route_output_frontier(Slice& s) {
+  Frontier& frontier = s.frontier;
+  const part::SubGraph& sub = *s.sub;
+  // Counting pass: remote items per owning peer.
+  s.route_offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+  frontier.for_each_output([&](VertexT v) {
+    if (!sub.is_hosted(v)) ++s.route_offsets[sub.owner[v] + 1];
+  });
+  for (int p = 0; p < n_; ++p) {
+    s.route_offsets[p + 1] += s.route_offsets[p];
+  }
+  s.route_cursor.assign(s.route_offsets.begin(),
+                        s.route_offsets.begin() + n_);
+  s.route_sources.resize(s.route_offsets[n_]);
+  // Scatter pass, fused with the in-place local compaction. Encounter
+  // order within each bucket matches the old per-peer push_back order,
+  // so message bytes are unchanged.
+  return frontier.split_output(
+      [&](VertexT v) { return sub.is_hosted(v); },
+      [&](VertexT v) {
+        s.route_sources[s.route_cursor[sub.owner[v]]++] = v;
+      });
+}
+
 void EnactorBase::split_frontier_and_push(Slice& s) {
   Frontier& frontier = s.frontier;
   if (n_ == 1) {
@@ -320,31 +356,29 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
     return;
   }
   const part::SubGraph& sub = *s.sub;
-  const auto out = frontier.output();
+  const SizeT out_items = frontier.output_size();
   const CommStrategy strategy = problem_.config().comm;
   const int nva = num_vertex_associates();
   const int nvv = num_value_associates();
-
-  // Writable view of the output queue for in-place compaction of the
-  // local sub-frontier.
-  VertexT* raw = const_cast<VertexT*>(out.data());
-  SizeT local_count = 0;
 
   if (strategy == CommStrategy::kBroadcast) {
     // Each peer receives the whole generated frontier (duplicate-all
     // guarantees local ID == global ID on every GPU). Package once
     // into the slice's persistent prototype — one batched gather pass
     // per associate slot — then stamp a pooled copy out per peer.
-    if (!out.empty()) {
+    if (out_items != 0) {
       Message& proto = s.broadcast_proto;
       proto.recycle();
-      proto.set_layout(nva, nvv, out.size());
-      std::copy(out.begin(), out.end(), proto.vertices.begin());
+      proto.set_layout(nva, nvv, out_items);
+      std::size_t i = 0;
+      frontier.for_each_output([&](VertexT v) { proto.vertices[i++] = v; });
+      const std::span<const VertexT> sent(proto.vertices.data(),
+                                          static_cast<std::size_t>(out_items));
       for (int slot = 0; slot < nva; ++slot) {
-        fill_vertex_associates(s, slot, out, proto.vertex_slot(slot).data());
+        fill_vertex_associates(s, slot, sent, proto.vertex_slot(slot).data());
       }
       for (int slot = 0; slot < nvv; ++slot) {
-        fill_value_associates(s, slot, out, proto.value_slot(slot).data());
+        fill_value_associates(s, slot, sent, proto.value_slot(slot).data());
       }
       for (int peer = 0; peer < n_; ++peer) {
         if (peer == s.gpu) continue;
@@ -353,24 +387,16 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
         bus_->push(s.gpu, peer, std::move(message));
       }
     }
-    for (const VertexT v : out) {
-      if (sub.is_hosted(v)) raw[local_count++] = v;
-    }
+    frontier.split_output([&](VertexT v) { return sub.is_hosted(v); },
+                          [](VertexT) {});
   } else {
-    // Selective: route pass first (compact the local sub-frontier in
-    // place, gather each remote vertex's sender-local ID per peer),
-    // then one packaging pass per peer with one batched gather per
-    // associate slot.
-    for (auto& sources : s.peer_sources) sources.clear();
-    for (const VertexT v : out) {
-      if (sub.is_hosted(v)) {
-        raw[local_count++] = v;
-      } else {
-        s.peer_sources[sub.owner[v]].push_back(v);
-      }
-    }
+    // Selective: flat route pass first (compact the local sub-frontier
+    // in place, scatter each remote vertex's sender-local ID into its
+    // peer bucket), then one packaging pass per peer with one batched
+    // gather per associate slot.
+    route_output_frontier(s);
     for (int peer = 0; peer < n_; ++peer) {
-      const std::vector<VertexT>& sources = s.peer_sources[peer];
+      const std::span<const VertexT> sources = peer_bucket(s, peer);
       if (peer == s.gpu || sources.empty()) continue;
       Message message = bus_->acquire();
       message.set_layout(nva, nvv, sources.size());
@@ -391,8 +417,7 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
   }
 
   // The split/package step is itself a kernel (C in Table I).
-  s.device->add_kernel_cost(0, out.size(), 1);
-  frontier.commit_output(local_count);
+  s.device->add_kernel_cost(0, out_items, 1);
   frontier.swap();
 }
 

@@ -57,10 +57,13 @@ class EnactorBase {
     OpContext ctx;
     std::uint64_t combine_items = 0;  ///< C: received items processed
     /// Comm-packaging scratch, reused across iterations so steady-state
-    /// packaging allocates nothing: per-peer sender-local source IDs
-    /// (the gather indices for the batched associate passes) and the
-    /// broadcast prototype that is stamped out per peer.
-    std::vector<std::vector<VertexT>> peer_sources;
+    /// packaging allocates nothing. The route pass writes a flat CSR-
+    /// style bucket layout (counting pass + scatter, mirroring the comm
+    /// layer's flat messages): peer p's sender-local source IDs live in
+    /// route_sources[route_offsets[p] .. route_offsets[p+1]).
+    util::PodVector<SizeT> route_offsets;  ///< n_+1 bucket boundaries
+    util::PodVector<SizeT> route_cursor;   ///< scatter cursors (n_)
+    util::PodVector<VertexT> route_sources;
     Message broadcast_proto;
   };
 
@@ -144,6 +147,13 @@ class EnactorBase {
   /// passes) override this to switch phases instead of stopping.
   virtual bool converged(bool all_frontiers_empty, std::uint64_t iteration);
 
+  /// Whether this primitive's operators tolerate dense (bitmap) input
+  /// frontiers. Opt-in: Config::dense_threshold is only propagated to
+  /// the operator contexts when this returns true, so primitives whose
+  /// iteration bodies require queue semantics (e.g. BC's dependency
+  /// accumulation) are never handed a bitmap.
+  virtual bool dense_frontier_capable() const { return false; }
+
   // ------------------------------------------------------------------
   // Services available to primitives.
   // ------------------------------------------------------------------
@@ -155,6 +165,45 @@ class EnactorBase {
   /// reusable by primitives that override communicate() but still move
   /// frontier-shaped data.
   void split_frontier_and_push(Slice& s);
+
+  /// Selective route pass over the output frontier: compacts the local
+  /// sub-frontier in place and scatters each remote vertex's
+  /// sender-local ID into the slice's flat per-peer buckets (counting
+  /// pass + scatter — no per-peer vectors, no steady-state heap
+  /// traffic). Returns the local (kept) count; buckets are then read
+  /// via peer_bucket().
+  SizeT route_output_frontier(Slice& s);
+
+  /// Route an arbitrary item list into the slice's flat buckets by
+  /// owner, keeping only items for which `send(v)` is true. Same
+  /// counting-pass + scatter shape as route_output_frontier, for
+  /// primitives whose communication is not frontier-shaped (PR's and
+  /// BC-backward's border pushes).
+  template <typename SendPred>
+  void route_items(Slice& s, std::span<const VertexT> items,
+                   SendPred&& send) {
+    const part::SubGraph& sub = *s.sub;
+    s.route_offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const VertexT v : items) {
+      if (send(v)) ++s.route_offsets[sub.owner[v] + 1];
+    }
+    for (int p = 0; p < n_; ++p) {
+      s.route_offsets[p + 1] += s.route_offsets[p];
+    }
+    s.route_cursor.assign(s.route_offsets.begin(),
+                          s.route_offsets.begin() + n_);
+    s.route_sources.resize(s.route_offsets[n_]);
+    for (const VertexT v : items) {
+      if (send(v)) s.route_sources[s.route_cursor[sub.owner[v]]++] = v;
+    }
+  }
+
+  /// Peer `peer`'s bucket of sender-local IDs from the last route pass.
+  std::span<const VertexT> peer_bucket(const Slice& s, int peer) const {
+    return {s.route_sources.data() + s.route_offsets[peer],
+            static_cast<std::size_t>(s.route_offsets[peer + 1] -
+                                     s.route_offsets[peer])};
+  }
 
  private:
   enum class ThreadStatus { kWait, kRunning, kIdle, kToKill };

@@ -1,12 +1,11 @@
-// Frontier: double-buffered work queues with §VI-B allocation schemes.
+// Frontier: double-buffered work queues with §VI-B allocation schemes
+// and an automatic sparse/dense representation.
 //
 // Iterative graph primitives produce frontiers whose size is unknown
 // until a kernel finishes, so how the output buffers are sized is a
 // real design axis (Fig. 3):
-//   just-enough     — start from a modest estimate; before each
-//                     operator, compute the exact required size (the
-//                     load-balancing scan gives it for free) and
-//                     reallocate only if insufficient.
+//   just-enough     — start from a modest estimate; grow only when an
+//                     operator's output bound exceeds capacity.
 //   fixed           — preallocate sizing-factor x |V_i| from previous
 //                     runs of similar graphs; the just-enough backstop
 //                     still applies ("to prevent illegal memory
@@ -16,12 +15,30 @@
 //   prealloc+fusion — fixed prealloc, plus the fused advance+filter
 //                     operator (§VI-C) that never materializes the
 //                     intermediate O(|E|) frontier at all.
+//
+// Orthogonally to sizing, each buffer can hold its vertex set in one
+// of two representations:
+//   sparse — a compacted queue of vertex IDs (the default; order is
+//            the operator's emission order);
+//   dense  — a |V_i|-bit bitmap, used when the frontier covers a large
+//            fraction of the subgraph. Dense advances iterate vertices
+//            straight off the bitmap and mark emissions with a plain
+//            bit-or, skipping the dedup atomics and the output
+//            compaction entirely — the push-side analog of DOBFS's
+//            pull direction (see core/operators.hpp).
+// The operators switch representation per iteration against
+// OpContext::dense_threshold; conversions are counted (dense_switches)
+// and the per-advance mode is surfaced through last_advance_dense()
+// into vgpu::IterationRecord so benches can log mode flips.
 #pragma once
 
+#include <bit>
+#include <cstring>
 #include <span>
 
 #include "graph/types.hpp"
 #include "util/array1d.hpp"
+#include "util/error.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/memory.hpp"
 
@@ -45,36 +62,77 @@ class Frontier {
       queues_[b].set_allocator(&device.memory());
       queues_[b].allocate(initial_queue_capacity());
       queues_[b].set_size(0);
+      // Bitmaps are device-charged but lazily sized: a run that never
+      // goes dense pays nothing for them.
+      masks_[b].set_name("frontier.mask" + std::to_string(b));
+      masks_[b].set_allocator(&device.memory());
     }
-    input_size_ = 0;
-    output_size_ = 0;
+    clear();
   }
 
   vgpu::AllocationScheme scheme() const noexcept { return scheme_; }
+  SizeT num_vertices() const noexcept { return num_vertices_; }
 
+  /// The input frontier as a compacted queue. Only valid in sparse
+  /// mode; dense readers use for_each_input() / input_words().
   std::span<const VertexT> input() const {
+    MGG_ASSERT(!dense_[current_],
+               "Frontier::input(): input is dense; convert or iterate "
+               "via for_each_input");
     return {queues_[current_].data(), static_cast<std::size_t>(input_size_)};
   }
   SizeT input_size() const noexcept { return input_size_; }
   SizeT output_size() const noexcept { return output_size_; }
 
+  bool input_dense() const noexcept { return dense_[current_]; }
+  bool output_dense() const noexcept { return dense_[1 - current_]; }
+
+  /// Raw bitmap words of a dense input frontier (mask_words() of them).
+  const std::uint64_t* input_words() const {
+    MGG_ASSERT(dense_[current_], "Frontier::input_words(): input is sparse");
+    return masks_[current_].data();
+  }
+  SizeT mask_words() const noexcept {
+    return static_cast<SizeT>((num_vertices_ + 63) / 64);
+  }
+
   /// Reset both queues to empty (new traversal).
   void clear() {
     input_size_ = 0;
     output_size_ = 0;
+    dense_[0] = false;
+    dense_[1] = false;
+    last_advance_dense_ = false;
+    dense_switches_ = 0;
   }
 
   /// Seed the input frontier (Problem::reset places the source here).
+  /// The queue is sized to the seeded count; the allocation scheme's
+  /// initial capacity is preserved as an explicit floor rather than
+  /// inherited from whatever capacity the queue happened to reach.
   void set_input(std::span<const VertexT> vertices) {
     auto& q = queues_[current_];
-    q.ensure_size(std::max<std::size_t>(vertices.size(), q.capacity()));
+    q.ensure_size(
+        std::max<std::size_t>(vertices.size(), initial_queue_capacity()));
+    q.set_size(vertices.size());
     for (std::size_t i = 0; i < vertices.size(); ++i) q[i] = vertices[i];
     input_size_ = static_cast<SizeT>(vertices.size());
+    dense_[current_] = false;
   }
 
-  /// Append one vertex to the *input* queue (used by ExpandIncoming
-  /// when received vertices join the next iteration's work).
+  /// Append one vertex to the *input* frontier (used by ExpandIncoming
+  /// when received vertices join the next iteration's work). In dense
+  /// mode the bitmap absorbs duplicates for free.
   void append_input(VertexT v) {
+    if (dense_[current_]) {
+      std::uint64_t& word = masks_[current_].data()[v >> 6];
+      const std::uint64_t bit = 1ULL << (v & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        ++input_size_;
+      }
+      return;
+    }
     auto& q = queues_[current_];
     if (input_size_ >= q.capacity()) {
       // Chunked just-enough growth; reallocation is counted and rare.
@@ -88,8 +146,9 @@ class Frontier {
 
   /// Make the output queue able to hold `required` entries, following
   /// the allocation scheme, and return the raw buffer. `required` is
-  /// the operator's computed upper bound (exact degree sum for
-  /// advance, |input| for filter).
+  /// the operator's computed upper bound (|V_i| for the fused
+  /// single-pass advance, exact degree sum for the split pipeline,
+  /// |input| for filter). Marks the output sparse.
   VertexT* request_output(SizeT required) {
     auto& q = queues_[1 - current_];
     const std::size_t need = static_cast<std::size_t>(required);
@@ -99,10 +158,31 @@ class Frontier {
       q.ensure_size(need);
     }
     q.set_size(std::max<std::size_t>(q.size(), need));
+    dense_[1 - current_] = false;
     return q.data();
   }
 
-  /// Record how many entries the operator actually produced.
+  /// Writable view of the committed output entries, for in-place
+  /// compaction of the local sub-frontier (replaces the old
+  /// const_cast on output().data()).
+  VertexT* mutable_output() {
+    MGG_ASSERT(!dense_[1 - current_],
+               "Frontier::mutable_output(): output is dense");
+    return queues_[1 - current_].data();
+  }
+
+  /// Zeroed output bitmap for a dense advance; emissions are plain
+  /// bit-ors (no atomics, no compaction). Marks the output dense.
+  std::uint64_t* dense_output() {
+    auto& mask = mask_for(1 - current_);
+    std::memset(mask.data(), 0,
+                static_cast<std::size_t>(mask_words()) * sizeof(std::uint64_t));
+    dense_[1 - current_] = true;
+    return mask.data();
+  }
+
+  /// Record how many entries the operator actually produced (queue
+  /// entries in sparse mode, set bits in dense mode).
   void commit_output(SizeT produced) { output_size_ = produced; }
 
   /// Output becomes the next iteration's input.
@@ -113,14 +193,151 @@ class Frontier {
   }
 
   /// Direct access to the output entries (for the framework's split
-  /// step, which runs after the operator commits).
+  /// step, which runs after the operator commits). Sparse mode only;
+  /// representation-agnostic consumers use for_each_output().
   std::span<const VertexT> output() const {
+    MGG_ASSERT(!dense_[1 - current_],
+               "Frontier::output(): output is dense; iterate via "
+               "for_each_output");
     return {queues_[1 - current_].data(),
             static_cast<std::size_t>(output_size_)};
   }
 
+  /// Visit every input vertex in either representation (queue order
+  /// when sparse, ascending vertex order when dense).
+  template <typename F>
+  void for_each_input(F&& f) const {
+    if (dense_[current_]) {
+      for_each_set_bit(masks_[current_].data(), f);
+    } else {
+      const auto& q = queues_[current_];
+      for (SizeT i = 0; i < input_size_; ++i) f(q[i]);
+    }
+  }
+
+  /// Visit every output vertex in either representation.
+  template <typename F>
+  void for_each_output(F&& f) const {
+    if (dense_[1 - current_]) {
+      for_each_set_bit(masks_[1 - current_].data(), f);
+    } else {
+      const auto& q = queues_[1 - current_];
+      for (SizeT i = 0; i < output_size_; ++i) f(q[i]);
+    }
+  }
+
+  /// Partition the committed output in place: entries with
+  /// keep(v) == true stay (compacted to the front in sparse mode, bits
+  /// retained in dense mode); every dropped entry is passed to
+  /// routed(v) in output order. Commits and returns the kept count —
+  /// the enactor's local sub-frontier compaction.
+  template <typename Keep, typename Routed>
+  SizeT split_output(Keep&& keep, Routed&& routed) {
+    SizeT kept = 0;
+    if (dense_[1 - current_]) {
+      std::uint64_t* words = masks_[1 - current_].data();
+      const SizeT nw = mask_words();
+      for (SizeT w = 0; w < nw; ++w) {
+        std::uint64_t bits = words[w];
+        std::uint64_t kept_bits = bits;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const VertexT v = static_cast<VertexT>((w << 6) + b);
+          if (keep(v)) {
+            ++kept;
+          } else {
+            kept_bits &= ~(1ULL << b);
+            routed(v);
+          }
+        }
+        words[w] = kept_bits;
+      }
+    } else {
+      VertexT* raw = mutable_output();
+      for (SizeT i = 0; i < output_size_; ++i) {
+        const VertexT v = raw[i];
+        if (keep(v)) {
+          raw[kept++] = v;
+        } else {
+          routed(v);
+        }
+      }
+    }
+    output_size_ = kept;
+    return kept;
+  }
+
+  /// Copy the input frontier to the output unchanged, in whichever
+  /// representation the input currently uses (PR's static frontier).
+  void carry_input_to_output() {
+    if (dense_[current_]) {
+      auto& dst = mask_for(1 - current_);
+      std::memcpy(dst.data(), masks_[current_].data(),
+                  static_cast<std::size_t>(mask_words()) *
+                      sizeof(std::uint64_t));
+      dense_[1 - current_] = true;
+    } else {
+      VertexT* out = request_output(input_size_);
+      if (input_size_ > 0) {
+        std::memcpy(out, queues_[current_].data(),
+                    static_cast<std::size_t>(input_size_) * sizeof(VertexT));
+      }
+    }
+    output_size_ = input_size_;
+  }
+
+  /// Convert a sparse input frontier to the bitmap representation.
+  /// Returns true if a conversion actually happened (the caller
+  /// charges its kernel cost); duplicates collapse into one bit.
+  bool input_to_dense() {
+    if (dense_[current_]) return false;
+    auto& mask = mask_for(current_);
+    std::memset(mask.data(), 0,
+                static_cast<std::size_t>(mask_words()) * sizeof(std::uint64_t));
+    const auto& q = queues_[current_];
+    SizeT n = 0;
+    for (SizeT i = 0; i < input_size_; ++i) {
+      const VertexT v = q[i];
+      std::uint64_t& word = mask.data()[v >> 6];
+      const std::uint64_t bit = 1ULL << (v & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        ++n;
+      }
+    }
+    input_size_ = n;
+    dense_[current_] = true;
+    ++dense_switches_;
+    return true;
+  }
+
+  /// Convert a dense input frontier back to a compacted queue
+  /// (ascending vertex order). Returns true if a conversion happened.
+  bool input_to_sparse() {
+    if (!dense_[current_]) return false;
+    auto& q = queues_[current_];
+    q.ensure_size(static_cast<std::size_t>(input_size_));
+    SizeT n = 0;
+    for_each_set_bit(masks_[current_].data(),
+                     [&](VertexT v) { q[n++] = v; });
+    MGG_ASSERT(n == input_size_, "dense input size / popcount mismatch");
+    dense_[current_] = false;
+    ++dense_switches_;
+    return true;
+  }
+
+  /// Representation conversions (either direction) since clear().
+  std::uint64_t dense_switches() const noexcept { return dense_switches_; }
+
+  /// Did the most recent advance run off the bitmap? Recorded by the
+  /// operators, harvested into vgpu::IterationRecord::dense_gpus.
+  bool last_advance_dense() const noexcept { return last_advance_dense_; }
+  void note_advance_mode(bool dense) noexcept { last_advance_dense_ = dense; }
+
   std::size_t realloc_count() const {
-    return queues_[0].realloc_count() + queues_[1].realloc_count();
+    return queues_[0].realloc_count() + queues_[1].realloc_count() +
+           masks_[0].realloc_count() + masks_[1].realloc_count();
   }
 
  private:
@@ -140,14 +357,40 @@ class Frontier {
     return 256;
   }
 
+  /// The bitmap for buffer `b`, allocated on first dense use.
+  util::Array1D<std::uint64_t>& mask_for(int b) {
+    auto& mask = masks_[b];
+    if (mask.capacity() < static_cast<std::size_t>(mask_words())) {
+      mask.ensure_size(mask_words());
+    }
+    return mask;
+  }
+
+  template <typename F>
+  void for_each_set_bit(const std::uint64_t* words, F&& f) const {
+    const SizeT nw = mask_words();
+    for (SizeT w = 0; w < nw; ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        f(static_cast<VertexT>((w << 6) + b));
+      }
+    }
+  }
+
   vgpu::Device* device_ = nullptr;
   vgpu::AllocationScheme scheme_ = vgpu::AllocationScheme::kPreallocFusion;
   SizeT num_vertices_ = 0;
   SizeT num_edges_ = 0;
   util::Array1D<VertexT> queues_[2];
+  util::Array1D<std::uint64_t> masks_[2];
+  bool dense_[2] = {false, false};
   int current_ = 0;
   SizeT input_size_ = 0;
   SizeT output_size_ = 0;
+  bool last_advance_dense_ = false;
+  std::uint64_t dense_switches_ = 0;
 };
 
 }  // namespace mgg::core

@@ -24,13 +24,26 @@ std::vector<SizeT> degree_scan(const graph::Graph& g,
   return scan;
 }
 
-std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
-                                      int num_workers, LoadBalance policy) {
+void degree_scan_into(const graph::Graph& g, std::span<const VertexT> frontier,
+                      util::PodVector<SizeT>& scan) {
+  scan.resize(frontier.size() + 1);
+  scan[0] = 0;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    scan[i + 1] = scan[i] + g.degree(frontier[i]);
+  }
+}
+
+namespace {
+
+/// The partitioning algorithm proper, writing into `chunks[0 ..
+/// num_workers)`; both public entry points delegate here so the
+/// vector-returning and scratch-filling variants cannot drift.
+void partition_into(std::span<const SizeT> scan, int num_workers,
+                    LoadBalance policy, WorkChunk* chunks) {
   MGG_REQUIRE(!scan.empty(), "degree scan must have at least one entry");
   MGG_REQUIRE(num_workers >= 1, "need at least one worker");
   const std::size_t slots = scan.size() - 1;
   const SizeT total = scan.back();
-  std::vector<WorkChunk> chunks(num_workers);
 
   if (policy == LoadBalance::kThreadPerVertex) {
     // Even split of frontier slots; edge counts fall where they fall.
@@ -44,7 +57,7 @@ std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
       chunks[w].first_edge_offset = 0;
       chunks[w].total_edges = scan[last] - scan[first];
     }
-    return chunks;
+    return;
   }
 
   // Edge-balanced (merge-path): worker w starts at global edge
@@ -74,10 +87,25 @@ std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
     chunks[w].first_edge_offset = begin_edge - scan[slot];
     chunks[w].total_edges = end_edge - begin_edge;
   }
+}
+
+}  // namespace
+
+std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
+                                      int num_workers, LoadBalance policy) {
+  std::vector<WorkChunk> chunks(num_workers);
+  partition_into(scan, num_workers, policy, chunks.data());
   return chunks;
 }
 
-double chunk_imbalance(const std::vector<WorkChunk>& chunks) {
+void partition_work_into(std::span<const SizeT> scan, int num_workers,
+                         LoadBalance policy,
+                         util::PodVector<WorkChunk>& chunks) {
+  chunks.resize(static_cast<std::size_t>(num_workers));
+  partition_into(scan, num_workers, policy, chunks.data());
+}
+
+double chunk_imbalance(std::span<const WorkChunk> chunks) {
   MGG_REQUIRE(!chunks.empty(), "no chunks");
   std::uint64_t total = 0;
   std::uint64_t worst = 0;

@@ -21,6 +21,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "util/pod_vector.hpp"
 
 namespace mgg::core {
 
@@ -37,6 +38,13 @@ std::string to_string(LoadBalance lb);
 std::vector<SizeT> degree_scan(const graph::Graph& g,
                                std::span<const VertexT> frontier);
 
+/// Allocation-free variant: writes the scan into caller-owned scratch
+/// (resized to frontier.size() + 1, no reallocation once warm). This
+/// is what the operators use per launch so imbalance accounting costs
+/// no heap traffic in steady state.
+void degree_scan_into(const graph::Graph& g, std::span<const VertexT> frontier,
+                      util::PodVector<SizeT>& scan);
+
 /// One worker's slice of the frontier's edge work.
 struct WorkChunk {
   std::uint32_t first_slot = 0;   ///< first frontier index touched
@@ -52,9 +60,14 @@ struct WorkChunk {
 std::vector<WorkChunk> partition_work(const std::vector<SizeT>& scan,
                                       int num_workers, LoadBalance policy);
 
+/// Allocation-free variant of partition_work for caller-owned scratch.
+void partition_work_into(std::span<const SizeT> scan, int num_workers,
+                         LoadBalance policy,
+                         util::PodVector<WorkChunk>& chunks);
+
 /// max(chunk edges) / mean(chunk edges): 1.0 is perfect balance. This
 /// is the factor by which the skewed policy's modeled kernel time
 /// exceeds the balanced one's on a power-law frontier.
-double chunk_imbalance(const std::vector<WorkChunk>& chunks);
+double chunk_imbalance(std::span<const WorkChunk> chunks);
 
 }  // namespace mgg::core

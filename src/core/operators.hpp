@@ -9,16 +9,27 @@
 // Two execution pipelines exist, selected by the allocation scheme:
 //
 //   fused (just-enough, prealloc+fusion): one kernel walks the input
-//     frontier's edges, applies the per-edge functor, deduplicates
-//     emissions with a bitmask, and writes the compacted output
-//     frontier directly — the intermediate O(|E|) frontier never
-//     exists (§VI-C: saves a launch, gains producer-consumer locality,
-//     and fits larger subgraphs per GPU).
+//     frontier's edges exactly once, applies the per-edge functor,
+//     deduplicates emissions with a bitmask, and writes the compacted
+//     output frontier directly — the intermediate O(|E|) frontier
+//     never exists (§VI-C: saves a launch, gains producer-consumer
+//     locality, and fits larger subgraphs per GPU). Because the dedup
+//     mask caps emissions at |V_i|, no separate sizing scan is needed:
+//     the edge work is accumulated during the traversal itself.
 //
 //   split (fixed, max): the classic two-kernel pipeline — advance
 //     expands all neighbors into an intermediate buffer sized by the
-//     allocation scheme, then filter compacts it. This is what Fig. 3
-//     measures against.
+//     allocation scheme (this one still takes the degree-sum sizing
+//     pass), then filter compacts it. This is what Fig. 3 measures
+//     against.
+//
+// Orthogonally, when OpContext::dense_threshold is enabled and the
+// input frontier covers more than that fraction of |V_i|, the advance
+// iterates vertices directly off the Frontier's bitmap representation
+// and marks emissions with plain bit-ors — no dedup atomics, no
+// output compaction. This is the push-side analog of the DOBFS pull
+// heuristic below; the representation switches automatically per
+// iteration and conversions are charged as vertex-work kernels.
 //
 // advance_pull is the per-vertex advance mode added for
 // direction-optimizing traversal (§VI-A): it parallelizes across
@@ -33,6 +44,7 @@
 #include "graph/csr.hpp"
 #include "util/array1d.hpp"
 #include "util/bitset.hpp"
+#include "util/pod_vector.hpp"
 #include "vgpu/device.hpp"
 
 namespace mgg::core {
@@ -54,6 +66,17 @@ struct OpContext {
   /// Modeled parallel width of one kernel (workers the policy divides
   /// work across).
   int lb_workers = 256;
+  /// Dense-representation switch point: when the input frontier holds
+  /// more than this fraction of |V_i|, advance_filter iterates the
+  /// bitmap instead of the compacted queue. 0 disables dense mode (the
+  /// default; the enactor only enables it for primitives that declare
+  /// support via dense_frontier_capable()).
+  double dense_threshold = 0;
+  /// Slice-owned load-balancing scratch (degree scan + worker chunks),
+  /// reused across launches so imbalance accounting performs no
+  /// per-launch heap allocations in steady state.
+  util::PodVector<SizeT> lb_scan;
+  util::PodVector<WorkChunk> lb_chunks;
 
   bool fused() const {
     return scheme == vgpu::AllocationScheme::kJustEnough ||
@@ -63,9 +86,11 @@ struct OpContext {
 
 namespace detail {
 
-/// Sum of out-degrees over the input frontier: the exact advance output
-/// bound. This is Gunrock's load-balancing scan, reused by just-enough
-/// allocation to size buffers (§VI-B).
+/// Sum of out-degrees over the input frontier: the exact advance
+/// output bound. The split pipeline still runs this as its sizing pass
+/// (it must materialize every candidate); the fused pipeline no longer
+/// needs it — its output is capped at |V_i| by the dedup mask and the
+/// edge work is accumulated during the single traversal.
 inline SizeT degree_sum(const graph::Graph& g, std::span<const VertexT> in) {
   SizeT total = 0;
   for (const VertexT v : in) total += g.degree(v);
@@ -73,16 +98,68 @@ inline SizeT degree_sum(const graph::Graph& g, std::span<const VertexT> in) {
 }
 
 /// Imbalance factor of this advance under the context's policy: 1.0
-/// for the edge-balanced mapping; max/mean worker load otherwise.
-inline double advance_imbalance(const OpContext& ctx,
+/// for the edge-balanced mapping; max/mean worker load otherwise. The
+/// scan/chunk temporaries live in the context's scratch.
+inline double advance_imbalance(OpContext& ctx,
                                 std::span<const VertexT> input) {
   if (ctx.load_balance == LoadBalance::kEdgeBalanced || input.empty()) {
     return 1.0;
   }
-  const auto scan = degree_scan(*ctx.g, input);
-  const auto chunks =
-      partition_work(scan, ctx.lb_workers, ctx.load_balance);
-  return chunk_imbalance(chunks);
+  degree_scan_into(*ctx.g, input, ctx.lb_scan);
+  partition_work_into(ctx.lb_scan, ctx.lb_workers, ctx.load_balance,
+                      ctx.lb_chunks);
+  return chunk_imbalance(ctx.lb_chunks);
+}
+
+/// Same, for a dense input frontier (the implicit work list is the
+/// set bits in ascending vertex order).
+inline double advance_imbalance_dense(OpContext& ctx) {
+  const Frontier& frontier = *ctx.frontier;
+  if (ctx.load_balance == LoadBalance::kEdgeBalanced ||
+      frontier.input_size() == 0) {
+    return 1.0;
+  }
+  ctx.lb_scan.resize(static_cast<std::size_t>(frontier.input_size()) + 1);
+  ctx.lb_scan[0] = 0;
+  std::size_t i = 0;
+  frontier.for_each_input([&](VertexT v) {
+    ctx.lb_scan[i + 1] = ctx.lb_scan[i] + ctx.g->degree(v);
+    ++i;
+  });
+  partition_work_into(ctx.lb_scan, ctx.lb_workers, ctx.load_balance,
+                      ctx.lb_chunks);
+  return chunk_imbalance(ctx.lb_chunks);
+}
+
+/// Dense advance: iterate set bits, apply the functor per edge, mark
+/// emissions in the output bitmap with plain bit-ors. No test_and_set
+/// atomics (the bitmap absorbs duplicates) and no compaction pass.
+template <typename EdgeOp>
+SizeT advance_filter_dense(OpContext& ctx, EdgeOp& op) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  std::uint64_t* out = frontier.dense_output();
+  SizeT work = 0;
+  SizeT produced = 0;
+  frontier.for_each_input([&](VertexT src) {
+    const auto [begin, end] = g.edge_range(src);
+    work += end - begin;
+    for (SizeT e = begin; e < end; ++e) {
+      const VertexT dst = g.col_indices[e];
+      if (op(src, dst, e)) {
+        std::uint64_t& word = out[dst >> 6];
+        const std::uint64_t bit = 1ULL << (dst & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++produced;
+        }
+      }
+    }
+  });
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(work, frontier.input_size(), 1,
+                              advance_imbalance_dense(ctx));
+  return produced;
 }
 
 }  // namespace detail
@@ -94,21 +171,45 @@ inline double advance_imbalance(const OpContext& ctx,
 ///
 /// The functor runs exactly once per (frontier vertex, edge); mutations
 /// it performs (label updates, distance relaxations) are the
-/// computation step fused into the traversal.
+/// computation step fused into the traversal. The raw work counters
+/// (edges / vertices / launches) are identical across the fused and
+/// split pipelines and across frontier representations; only modeled
+/// time differs.
 template <typename EdgeOp>
 SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
   const graph::Graph& g = *ctx.g;
   Frontier& frontier = *ctx.frontier;
-  const auto input = frontier.input();
-  const SizeT work = detail::degree_sum(g, input);
 
+  // Representation decision (the push-side analog of DOBFS's direction
+  // switch): go dense when the frontier covers enough of |V_i|, fall
+  // back to sparse when it shrinks again. A conversion is a real pass
+  // over the frontier and is charged as vertex work.
+  const bool want_dense =
+      ctx.dense_threshold > 0 &&
+      static_cast<double>(frontier.input_size()) >
+          ctx.dense_threshold * static_cast<double>(g.num_vertices);
+  if (want_dense != frontier.input_dense()) {
+    const SizeT items = frontier.input_size();
+    const bool converted =
+        want_dense ? frontier.input_to_dense() : frontier.input_to_sparse();
+    if (converted) ctx.device->add_kernel_cost(0, items, 1);
+  }
+  frontier.note_advance_mode(frontier.input_dense());
+  if (frontier.input_dense()) {
+    return detail::advance_filter_dense(ctx, op);
+  }
+
+  const auto input = frontier.input();
   if (ctx.fused()) {
-    const SizeT bound =
-        std::min<SizeT>(work, g.num_vertices);  // dedup caps emissions
-    VertexT* out = frontier.request_output(bound);
+    // Single pass (§VI-C): no sizing scan — the dedup mask caps the
+    // output at |V_i|, so the bound is known without touching an edge,
+    // and the edge work is summed as the traversal walks the CSR.
+    VertexT* out = frontier.request_output(g.num_vertices);
     SizeT produced = 0;
+    SizeT work = 0;
     for (const VertexT src : input) {
       const auto [begin, end] = g.edge_range(src);
+      work += end - begin;
       for (SizeT e = begin; e < end; ++e) {
         const VertexT dst = g.col_indices[e];
         if (op(src, dst, e) && ctx.dedup->test_and_set(dst)) {
@@ -119,7 +220,6 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
     // Reset only the bits we set, so clearing costs O(output).
     for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
     frontier.commit_output(produced);
-    // One fused kernel: edge work plus the sizing scan over vertices.
     ctx.device->add_kernel_cost(work, input.size(), 1,
                                 detail::advance_imbalance(ctx, input));
     return produced;
@@ -127,6 +227,7 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
 
   // Split pipeline: advance materializes every (src, edge) candidate
   // into the intermediate buffer...
+  const SizeT work = detail::degree_sum(g, input);
   util::Array1D<VertexT>& temp = *ctx.advance_temp;
   util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
   temp.ensure_size(work);

@@ -31,6 +31,12 @@ struct Config {
   std::uint64_t seed = 1;
   std::uint64_t max_iterations = 1u << 20;
   bool mark_predecessors = false;
+  /// Dense-frontier switch point as a fraction of |V_i|: when a GPU's
+  /// input frontier exceeds this fraction of its local vertices,
+  /// advance iterates the bitmap representation instead of the
+  /// compacted queue. 0 disables dense mode entirely (the default);
+  /// only primitives that declare dense_frontier_capable() honor it.
+  double dense_threshold = 0;
 };
 
 class ProblemBase {

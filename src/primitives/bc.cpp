@@ -140,10 +140,9 @@ void BcEnactor::communicate(Slice& s) {
 
 void BcEnactor::communicate_forward(Slice& s) {
   BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
-  const part::SubGraph& sub = *s.sub;
   const int n = num_gpus();
   core::Frontier& frontier = s.frontier;
-  const auto out = frontier.output();
+  const SizeT out_items = frontier.output_size();
 
   if (n == 1) {
     frontier.swap();
@@ -151,20 +150,12 @@ void BcEnactor::communicate_forward(Slice& s) {
   }
 
   // (a) Selective sigma partials for remote-discovered vertices; the
-  // local sub-frontier is compacted in place. Route into the slice's
-  // per-peer scratch, then package one pooled message per peer.
-  VertexT* raw = const_cast<VertexT*>(out.data());
-  SizeT local_count = 0;
-  for (auto& sources : s.peer_sources) sources.clear();
-  for (const VertexT v : out) {
-    if (sub.is_hosted(v)) {
-      raw[local_count++] = v;
-    } else {
-      s.peer_sources[sub.owner[v]].push_back(v);  // duplicate-all: global
-    }
-  }
+  // flat route pass compacts the local sub-frontier in place and
+  // scatters remote vertices into per-peer buckets, then one pooled
+  // message per peer.
+  route_output_frontier(s);
   for (int peer = 0; peer < n; ++peer) {
-    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    const std::span<const VertexT> sources = peer_bucket(s, peer);
     if (peer == s.gpu || sources.empty()) continue;
     core::Message msg = bus().acquire();
     msg.tag = kSigmaPartial;
@@ -172,7 +163,7 @@ void BcEnactor::communicate_forward(Slice& s) {
     const auto sigma_out = msg.value_slot(0);
     for (std::size_t i = 0; i < sources.size(); ++i) {
       const VertexT v = sources[i];
-      msg.vertices[i] = v;
+      msg.vertices[i] = v;  // duplicate-all: global ID
       sigma_out[i] = static_cast<ValueT>(d.sigma_acc[v]);
       d.sigma_acc[v] = 0;  // partial handed off
     }
@@ -202,27 +193,22 @@ void BcEnactor::communicate_forward(Slice& s) {
     }
   }
 
-  s.device->add_kernel_cost(0, out.size(), 1);
-  frontier.commit_output(local_count);
+  s.device->add_kernel_cost(0, out_items, 1);
   frontier.swap();
 }
 
 void BcEnactor::communicate_backward(Slice& s) {
   BcProblem::DataSlice& d = bc_problem_.data(s.gpu);
-  const part::SubGraph& sub = *s.sub;
   const int n = num_gpus();
   if (n == 1) {
     s.frontier.swap();
     return;
   }
-  // Selective delta partials for proxy parents touched this level.
-  for (auto& sources : s.peer_sources) sources.clear();
-  for (const VertexT p : d.border) {
-    if (d.delta_acc[p] == 0) continue;
-    s.peer_sources[sub.owner[p]].push_back(p);
-  }
+  // Selective delta partials for proxy parents touched this level,
+  // routed through the slice's flat per-peer buckets.
+  route_items(s, d.border, [&](VertexT p) { return d.delta_acc[p] != 0; });
   for (int peer = 0; peer < n; ++peer) {
-    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    const std::span<const VertexT> sources = peer_bucket(s, peer);
     if (peer == s.gpu || sources.empty()) continue;
     core::Message msg = bus().acquire();
     msg.tag = kDeltaPartial;

@@ -66,6 +66,9 @@ class BfsEnactor : public core::EnactorBase {
                               std::span<const VertexT> sources,
                               VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
+  /// BFS's advance tolerates bitmap frontiers (visitation is
+  /// order-independent within an iteration).
+  bool dense_frontier_capable() const override { return true; }
 
  private:
   BfsProblem& bfs_problem_;

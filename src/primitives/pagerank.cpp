@@ -75,10 +75,7 @@ void PagerankEnactor::iteration_core(Slice& s) {
   });
 
   // The next iteration works on the full hosted set again.
-  const auto input = s.frontier.input();
-  VertexT* out = s.frontier.request_output(static_cast<SizeT>(input.size()));
-  std::memcpy(out, input.data(), input.size() * sizeof(VertexT));
-  s.frontier.commit_output(static_cast<SizeT>(input.size()));
+  s.frontier.carry_input_to_output();
 }
 
 void PagerankEnactor::communicate(Slice& s) {
@@ -92,13 +89,9 @@ void PagerankEnactor::communicate(Slice& s) {
   // pooled message per peer so the steady state allocates nothing.
   PagerankProblem::DataSlice& d = pr_problem_.data(s.gpu);
   const part::SubGraph& sub = *s.sub;
-  for (auto& sources : s.peer_sources) sources.clear();
-  for (const VertexT p : d.border) {
-    if (d.acc[p] == 0) continue;
-    s.peer_sources[sub.owner[p]].push_back(p);
-  }
+  route_items(s, d.border, [&](VertexT p) { return d.acc[p] != 0; });
   for (int peer = 0; peer < num_gpus(); ++peer) {
-    const std::vector<VertexT>& sources = s.peer_sources[peer];
+    const std::span<const VertexT> sources = peer_bucket(s, peer);
     if (peer == s.gpu || sources.empty()) continue;
     core::Message msg = bus().acquire();
     msg.set_layout(0, 1, sources.size());

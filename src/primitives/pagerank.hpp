@@ -70,6 +70,9 @@ class PagerankEnactor : public core::EnactorBase {
   void communicate(Slice& s) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   bool converged(bool all_frontiers_empty, std::uint64_t iteration) override;
+  /// Rank pushes commute (floating-point order is fixed by the
+  /// ascending hosted-vertex update), so bitmap frontiers are safe.
+  bool dense_frontier_capable() const override { return true; }
 
  private:
   PagerankProblem& pr_problem_;

@@ -69,6 +69,11 @@ void SsspEnactor::iteration_core(Slice& s) {
   const auto& local_to_global = s.sub->local_to_global;
 
   if (near_far()) {
+    // The split needs queue semantics; a dense frontier converts back
+    // first (the conversion is a counted pass over the frontier).
+    if (s.frontier.input_to_sparse()) {
+      s.device->add_kernel_cost(0, s.frontier.input_size(), 1);
+    }
     // Near-far split: keep only vertices below the current threshold
     // in this superstep's frontier; defer the rest (one far-pile slot
     // per vertex — re-deferrals are deduplicated by distance check at

@@ -79,6 +79,9 @@ class SsspEnactor : public core::EnactorBase {
                              ValueT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   bool converged(bool all_frontiers_empty, std::uint64_t iteration) override;
+  /// Relaxations are monotone min-updates, so bitmap iteration order is
+  /// safe (the near-far split converts back to a queue first).
+  bool dense_frontier_capable() const override { return true; }
 
  private:
   bool near_far() const { return options_.delta > 0; }

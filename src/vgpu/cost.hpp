@@ -39,6 +39,9 @@ struct RunStats {
   std::uint64_t total_combine_items = 0;     ///< Σ received items (C)
   std::uint64_t total_comm_bytes = 0;        ///< Σ H (bytes)
   std::uint64_t total_launches = 0;
+  /// Sparse↔dense frontier representation flips across all GPUs (0
+  /// unless Config::dense_threshold enabled dense mode).
+  std::uint64_t dense_switches = 0;
   double modeled_compute_s = 0;  ///< Σ max-GPU compute per iteration
   double modeled_comm_s = 0;     ///< Σ max-GPU comm per iteration
   double modeled_overhead_s = 0; ///< Σ l(n)
@@ -66,6 +69,8 @@ struct IterationRecord {
   std::uint64_t frontier_total = 0;  ///< Σ input sizes after combine
   std::uint64_t edges = 0;           ///< Σ edge work this superstep
   std::uint64_t comm_items = 0;      ///< Σ items pushed this superstep
+  /// GPUs whose advance ran off the dense bitmap this superstep.
+  std::uint64_t dense_gpus = 0;
   double compute_s = 0;              ///< max-GPU compute
   double comm_s = 0;                 ///< max-GPU communication
   double overhead_s = 0;             ///< l(n)

@@ -25,6 +25,8 @@ std::string run_stats_to_json(const RunStats& stats,
       static_cast<unsigned long long>(stats.total_combine_items));
   w.key("total_launches").value(
       static_cast<unsigned long long>(stats.total_launches));
+  w.key("dense_switches").value(
+      static_cast<unsigned long long>(stats.dense_switches));
   w.key("modeled_compute_s").value(stats.modeled_compute_s);
   w.key("modeled_comm_s").value(stats.modeled_comm_s);
   w.key("modeled_overhead_s").value(stats.modeled_overhead_s);
@@ -40,6 +42,7 @@ std::string run_stats_to_json(const RunStats& stats,
       w.key("edges").value(static_cast<unsigned long long>(r.edges));
       w.key("comm_items").value(
           static_cast<unsigned long long>(r.comm_items));
+      w.key("dense_gpus").value(static_cast<unsigned long long>(r.dense_gpus));
       w.key("compute_s").value(r.compute_s);
       w.key("comm_s").value(r.comm_s);
       w.key("overhead_s").value(r.overhead_s);

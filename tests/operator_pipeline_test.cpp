@@ -1,0 +1,304 @@
+// Differential property tests for the operator pipelines: the fused
+// single-pass advance, the split two-kernel advance, and the dense
+// bitmap advance must agree on the produced frontier and on the
+// counted work (W: edges), and whole primitives must produce identical
+// results no matter which pipeline executes them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/enactor.hpp"
+#include "core/frontier.hpp"
+#include "core/operators.hpp"
+#include "graph/generators.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/common.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/sssp.hpp"
+#include "test_support.hpp"
+
+namespace mgg {
+namespace {
+
+using core::Frontier;
+using core::LoadBalance;
+using vgpu::AllocationScheme;
+
+/// One operator execution site with an adjustable pipeline.
+struct PipelineEnv {
+  PipelineEnv(const graph::Graph& graph, AllocationScheme scheme,
+              double dense_threshold, LoadBalance lb)
+      : machine(vgpu::Machine::create("k40", 1)), g(graph) {
+    frontier.init(machine.device(0), scheme, g.num_vertices, g.num_edges);
+    dedup.resize(g.num_vertices);
+    temp.set_allocator(&machine.device(0).memory());
+    temp_edges.set_allocator(&machine.device(0).memory());
+    if (scheme == AllocationScheme::kMax) {
+      temp.allocate(g.num_edges);
+      temp_edges.allocate(g.num_edges);
+    }
+    ctx = core::OpContext{&machine.device(0), &g,          &frontier,
+                          &temp,              &temp_edges, &dedup,
+                          scheme,             lb};
+    ctx.dense_threshold = dense_threshold;
+  }
+
+  /// Run one visited-gated advance from `seed` and return (sorted
+  /// output frontier, counted edge work).
+  std::pair<std::vector<VertexT>, std::uint64_t> advance_once(
+      const std::vector<VertexT>& seed) {
+    machine.device(0).harvest_iteration();  // reset counters
+    frontier.clear();
+    frontier.set_input(seed);
+    std::vector<char> visited(g.num_vertices, 0);
+    core::advance_filter(ctx, [&](VertexT, VertexT dst, SizeT) {
+      if (visited[dst]) return false;
+      visited[dst] = 1;
+      return true;
+    });
+    std::vector<VertexT> out;
+    frontier.for_each_output([&](VertexT v) { out.push_back(v); });
+    std::sort(out.begin(), out.end());
+    return {out, machine.device(0).harvest_iteration().edges};
+  }
+
+  vgpu::Machine machine;
+  graph::Graph g;
+  Frontier frontier;
+  util::AtomicBitset dedup;
+  util::Array1D<VertexT> temp{"advance_temp"};
+  util::Array1D<SizeT> temp_edges{"advance_temp_edges"};
+  core::OpContext ctx;
+};
+
+struct PipelineSpec {
+  const char* name;
+  AllocationScheme scheme;
+  double dense_threshold;
+};
+
+constexpr PipelineSpec kPipelines[] = {
+    {"fused", AllocationScheme::kPreallocFusion, 0.0},
+    {"split", AllocationScheme::kMax, 0.0},
+    {"dense", AllocationScheme::kPreallocFusion, 1e-9},
+};
+
+TEST(OperatorPipeline, SingleAdvanceAgreesAcrossPipelinesAndPolicies) {
+  const graph::Graph graphs[] = {test::small_rmat(8, 8, 7),
+                                 test::small_rmat(9, 4, 21),
+                                 test::small_grid(16, 16, 3)};
+  for (const auto& g : graphs) {
+    // A scattered seed frontier (every 3rd vertex with edges).
+    std::vector<VertexT> seed;
+    for (VertexT v = 0; v < g.num_vertices; v += 3) {
+      if (g.degree(v) > 0) seed.push_back(v);
+    }
+    ASSERT_FALSE(seed.empty());
+    for (const LoadBalance lb :
+         {LoadBalance::kEdgeBalanced, LoadBalance::kThreadPerVertex}) {
+      PipelineEnv reference(g, kPipelines[0].scheme,
+                            kPipelines[0].dense_threshold, lb);
+      const auto [ref_out, ref_edges] = reference.advance_once(seed);
+      EXPECT_GT(ref_edges, 0u);
+      for (const auto& spec : kPipelines) {
+        PipelineEnv env(g, spec.scheme, spec.dense_threshold, lb);
+        const auto [out, edges] = env.advance_once(seed);
+        EXPECT_EQ(out, ref_out) << spec.name;
+        EXPECT_EQ(edges, ref_edges) << spec.name;
+        if (spec.dense_threshold > 0) {
+          EXPECT_TRUE(env.frontier.last_advance_dense());
+          EXPECT_GE(env.frontier.dense_switches(), 1u);
+        } else {
+          EXPECT_FALSE(env.frontier.last_advance_dense());
+        }
+      }
+    }
+  }
+}
+
+TEST(OperatorPipeline, DenseAdvanceSwitchesBackWhenFrontierShrinks) {
+  const auto g = test::small_rmat(8, 8, 7);
+  // Threshold of half the graph: a full seed goes dense, a tiny
+  // follow-up frontier converts back to a queue.
+  PipelineEnv env(g, AllocationScheme::kPreallocFusion, 0.5,
+                  LoadBalance::kEdgeBalanced);
+  std::vector<VertexT> all;
+  for (VertexT v = 0; v < g.num_vertices; ++v) all.push_back(v);
+  env.frontier.set_input(all);
+  core::advance_filter(env.ctx,
+                       [](VertexT, VertexT, SizeT) { return false; });
+  EXPECT_TRUE(env.frontier.last_advance_dense());
+  EXPECT_EQ(env.frontier.dense_switches(), 1u);
+  env.frontier.swap();
+  const VertexT tiny[] = {test::first_connected_vertex(g)};
+  env.frontier.set_input(tiny);
+  core::advance_filter(env.ctx,
+                       [](VertexT, VertexT, SizeT) { return false; });
+  EXPECT_FALSE(env.frontier.last_advance_dense());
+}
+
+// ---------------------------------------------------------------------
+// Whole-primitive differential runs.
+// ---------------------------------------------------------------------
+
+core::Config pipeline_config(int gpus, const PipelineSpec& spec) {
+  core::Config cfg = test::config_for(gpus);
+  cfg.scheme = spec.scheme;
+  cfg.dense_threshold = spec.dense_threshold;
+  return cfg;
+}
+
+struct BfsRun {
+  std::vector<VertexT> labels;
+  std::vector<vgpu::IterationRecord> records;
+  vgpu::RunStats stats;
+};
+
+BfsRun bfs_run(const graph::Graph& g, VertexT src, const core::Config& cfg) {
+  auto machine = test::test_machine(cfg.num_gpus);
+  prim::BfsProblem problem;
+  problem.init(g, machine, cfg);
+  prim::BfsEnactor enactor(problem);
+  enactor.reset(src);
+  BfsRun r;
+  r.stats = enactor.enact();
+  r.records = enactor.iteration_records();
+  r.labels = prim::gather_vertex_values<VertexT>(
+      problem.partitioned(),
+      [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
+  return r;
+}
+
+TEST(OperatorPipeline, BfsIdenticalAcrossPipelinesPerIteration) {
+  const auto g = test::small_rmat(9, 8, 11);
+  const VertexT src = test::first_connected_vertex(g);
+  const BfsRun ref = bfs_run(g, src, pipeline_config(3, kPipelines[0]));
+  EXPECT_EQ(ref.stats.dense_switches, 0u);
+  for (const auto& spec : kPipelines) {
+    const BfsRun run = bfs_run(g, src, pipeline_config(3, spec));
+    EXPECT_EQ(run.labels, ref.labels) << spec.name;
+    ASSERT_EQ(run.records.size(), ref.records.size()) << spec.name;
+    for (std::size_t i = 0; i < run.records.size(); ++i) {
+      EXPECT_EQ(run.records[i].edges, ref.records[i].edges)
+          << spec.name << " iteration " << i;
+      EXPECT_EQ(run.records[i].comm_items, ref.records[i].comm_items)
+          << spec.name << " iteration " << i;
+      EXPECT_EQ(run.records[i].frontier_total, ref.records[i].frontier_total)
+          << spec.name << " iteration " << i;
+    }
+    if (spec.dense_threshold > 0) {
+      EXPECT_GE(run.stats.dense_switches, 1u) << spec.name;
+      std::uint64_t dense_gpus = 0;
+      for (const auto& rec : run.records) dense_gpus += rec.dense_gpus;
+      EXPECT_GT(dense_gpus, 0u) << spec.name;
+    }
+  }
+}
+
+TEST(OperatorPipeline, SsspIdenticalAcrossPipelines) {
+  const auto g = test::small_weighted_rmat(9, 8, 13);
+  const VertexT src = test::first_connected_vertex(g);
+  auto run = [&](const PipelineSpec& spec) {
+    auto machine = test::test_machine(3);
+    return prim::run_sssp(g, src, machine, pipeline_config(3, spec));
+  };
+  const auto ref = run(kPipelines[0]);
+  // Fused vs split execute the exact same relaxation sequence: result
+  // and per-run W both match. Dense iterates in ascending vertex order,
+  // which can reorder same-iteration relaxations — but the final
+  // distance map is the unique least fixpoint, so it matches exactly.
+  const auto split = run(kPipelines[1]);
+  EXPECT_EQ(split.dist, ref.dist);
+  EXPECT_EQ(split.stats.total_edges, ref.stats.total_edges);
+  EXPECT_EQ(split.stats.iterations, ref.stats.iterations);
+  const auto dense = run(kPipelines[2]);
+  EXPECT_EQ(dense.dist, ref.dist);
+  EXPECT_GE(dense.stats.dense_switches, 1u);
+}
+
+TEST(OperatorPipeline, PagerankBitwiseIdenticalAcrossPipelines) {
+  const auto g = test::small_rmat(8, 8, 17);
+  auto run = [&](const PipelineSpec& spec) {
+    auto machine = test::test_machine(3);
+    return prim::run_pagerank(g, machine, pipeline_config(3, spec));
+  };
+  const auto ref = run(kPipelines[0]);
+  // The dense bitmap iterates hosted vertices in the same ascending
+  // order the sparse hosted list uses, so even floating-point
+  // accumulation order is preserved: ranks are bitwise identical.
+  const auto split = run(kPipelines[1]);
+  EXPECT_EQ(split.rank, ref.rank);
+  const auto dense = run(kPipelines[2]);
+  EXPECT_EQ(dense.rank, ref.rank);
+  EXPECT_GE(dense.stats.dense_switches, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Frontier API satellites.
+// ---------------------------------------------------------------------
+
+TEST(OperatorPipeline, SetInputSizesToSeedWithSchemeFloor) {
+  auto machine = test::test_machine(1);
+  Frontier f;
+  f.init(machine.device(0), AllocationScheme::kJustEnough, 100000, 1000000);
+  const VertexT seed[] = {5, 6, 7};
+  f.set_input(seed);
+  EXPECT_EQ(f.input_size(), 3u);
+  ASSERT_EQ(f.input().size(), 3u);
+  EXPECT_EQ(f.input()[0], 5u);
+  // Seeding a few vertices stays within the scheme's initial capacity:
+  // no reallocation.
+  EXPECT_EQ(f.realloc_count(), 0u);
+
+  // Re-seeding small after a large frontier grew the queue must not
+  // leave stale size semantics behind.
+  std::vector<VertexT> big(50000);
+  for (VertexT v = 0; v < 50000; ++v) big[v] = v;
+  f.set_input(big);
+  EXPECT_EQ(f.input_size(), 50000u);
+  const VertexT again[] = {9};
+  f.set_input(again);
+  EXPECT_EQ(f.input_size(), 1u);
+  ASSERT_EQ(f.input().size(), 1u);
+  EXPECT_EQ(f.input()[0], 9u);
+}
+
+TEST(OperatorPipeline, MutableOutputWritesThrough) {
+  auto machine = test::test_machine(1);
+  Frontier f;
+  f.init(machine.device(0), AllocationScheme::kPreallocFusion, 100, 1000);
+  VertexT* out = f.request_output(3);
+  out[0] = 1;
+  out[1] = 2;
+  out[2] = 3;
+  f.commit_output(3);
+  f.mutable_output()[1] = 42;
+  const auto view = f.output();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 42u);
+}
+
+TEST(OperatorPipeline, SplitOutputCompactsAndRoutes) {
+  auto machine = test::test_machine(1);
+  Frontier f;
+  f.init(machine.device(0), AllocationScheme::kPreallocFusion, 100, 1000);
+  VertexT* out = f.request_output(5);
+  const VertexT vals[] = {10, 3, 8, 1, 6};
+  std::copy(vals, vals + 5, out);
+  f.commit_output(5);
+  std::vector<VertexT> routed;
+  const SizeT kept = f.split_output(
+      [](VertexT v) { return v < 7; },
+      [&](VertexT v) { routed.push_back(v); });
+  EXPECT_EQ(kept, 3u);
+  EXPECT_EQ(f.output_size(), 3u);
+  const auto view = f.output();
+  EXPECT_EQ(view[0], 3u);
+  EXPECT_EQ(view[1], 1u);
+  EXPECT_EQ(view[2], 6u);
+  EXPECT_EQ(routed, (std::vector<VertexT>{10, 8}));
+}
+
+}  // namespace
+}  // namespace mgg
