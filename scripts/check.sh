@@ -17,11 +17,20 @@ ctest --test-dir "$BUILD" --output-on-failure -j
 echo "==> operator-pipeline property suite (explicit)"
 "$BUILD/tests/mgg_tests" --gtest_filter='OperatorPipeline.*'
 
+echo "==> sync-mode differential suite + handshake stressors (explicit)"
+# Pins barrier-vs-pipeline results and W/H counters bit-identical and
+# hammers the handshake table's ordering/abort paths.
+"$BUILD/tests/mgg_tests" \
+  --gtest_filter='SyncPipeline.*:StreamStress.Handshake*'
+
 echo "==> micro_operators acceptance gate (writes BENCH_operators.json)"
 "$BUILD/bench/micro_operators" --json="$BUILD/BENCH_operators.json"
 
 echo "==> micro_comm acceptance gate"
 "$BUILD/bench/micro_comm"
+
+echo "==> sec5b sync-mode acceptance gate (writes BENCH_sync.json)"
+"$BUILD/bench/sec5b_sync_latency" --json="$BUILD/BENCH_sync.json"
 
 echo "==> tsan: build mgg_tests with -fsanitize=thread"
 cmake -B "$TSAN_BUILD" -S . \
@@ -37,7 +46,7 @@ echo "==> tsan: core / fault / stream-stress suites"
 # from the enactor's per-GPU threads).
 TSAN_FILTER='Message.*:CommBus.*:Frontier.*:Operators.*:Problem.*'
 TSAN_FILTER+=':Enactor.*:Oom.*:FaultInjection.*:StreamStress.*'
-TSAN_FILTER+=':OperatorPipeline.*'
+TSAN_FILTER+=':OperatorPipeline.*:SyncPipeline.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

@@ -14,6 +14,14 @@ std::string to_string(CommStrategy s) {
   return "unknown";
 }
 
+std::string to_string(SyncMode m) {
+  switch (m) {
+    case SyncMode::kBspBarrier: return "bsp_barrier";
+    case SyncMode::kEventPipeline: return "event_pipeline";
+  }
+  return "unknown";
+}
+
 CommBus::CommBus(vgpu::Machine& machine)
     : machine_(&machine),
       locks_(machine.num_devices()),
@@ -51,8 +59,12 @@ void CommBus::push(int src, int dst, Message message) {
 
   const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
   vgpu::Device& sender = machine_->device(src);
+  // Submit-time stamp of the sender's compute timeline: the modeled
+  // transfer cannot start before the kernel that packaged its payload
+  // finished, no matter when the comm-stream worker gets to the task.
+  const double ready_s = sender.modeled_compute_time();
   sender.comm_stream().submit(
-      [this, src, dst, epoch, msg = std::move(message)]() mutable {
+      [this, src, dst, epoch, ready_s, msg = std::move(message)]() mutable {
         if (epoch != epoch_.load(std::memory_order_acquire)) {
           // The run this push belongs to was reset while the task sat
           // on the comm stream; drop the stale payload.
@@ -63,7 +75,7 @@ void CommBus::push(int src, int dst, Message message) {
         const std::size_t items = msg.vertices.size();
         const double seconds =
             machine_->interconnect().transfer_seconds(src, dst, bytes);
-        machine_->device(src).add_comm_cost(seconds, bytes, items);
+        machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s);
         machine_->interconnect().record_transfer(bytes);
         {
           std::lock_guard<std::mutex> lock(locks_[dst]);
@@ -73,6 +85,11 @@ void CommBus::push(int src, int dst, Message message) {
 }
 
 std::vector<Message>& CommBus::drain(int dst) {
+  MGG_CHECK(!strict_drain_ || drained_[dst].empty(), Status::kInternal,
+            "CommBus::drain(" + std::to_string(dst) +
+                "): previous drained batch was not recycled — call "
+                "release_drained() after combining (strict pipeline "
+                "drain protocol)");
   release_drained(dst);
   {
     std::lock_guard<std::mutex> lock(locks_[dst]);
@@ -92,6 +109,44 @@ std::vector<Message>& CommBus::drain(int dst) {
                                             : a.tag < b.tag;
             });
   return drained_[dst];
+}
+
+std::vector<Message>& CommBus::drain_from(int dst, int src) {
+  auto& batch = drained_[dst];
+  // Unlike drain(), never silently recycle: the pipeline combine loop
+  // alternates drain_from / release_drained per sender, and a live
+  // batch here means the caller is still (logically) combining it.
+  MGG_CHECK(batch.empty(), Status::kInternal,
+            "CommBus::drain_from(" + std::to_string(dst) + ", " +
+                std::to_string(src) +
+                "): previous drained batch was not recycled — call "
+                "release_drained() before the next drain in pipeline "
+                "mode");
+  {
+    std::lock_guard<std::mutex> lock(locks_[dst]);
+    // Stable partition: extract `src`'s messages, keep the rest in
+    // arrival order. Both vectors retain their high-water capacity.
+    // Guard the no-move case: self-move-assigning inbox[i] into itself
+    // would leave the message's vectors empty (std::vector self-move
+    // is destructive), silently dropping a peer's payload.
+    auto& inbox = inboxes_[dst];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      if (inbox[i].src_gpu == src) {
+        batch.push_back(std::move(inbox[i]));
+      } else {
+        if (kept != i) inbox[kept] = std::move(inbox[i]);
+        ++kept;
+      }
+    }
+    inbox.resize(kept);
+  }
+  // Within one sender, tags are unique per superstep; sorting by tag
+  // reproduces the (src_gpu, tag) combine order the barrier schedule
+  // gets from its full-inbox sort.
+  std::sort(batch.begin(), batch.end(),
+            [](const Message& a, const Message& b) { return a.tag < b.tag; });
+  return batch;
 }
 
 void CommBus::release_drained(int dst) {

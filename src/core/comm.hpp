@@ -45,6 +45,28 @@ enum class CommStrategy {
 
 std::string to_string(CommStrategy s);
 
+/// §V-B: how supersteps synchronize. The schedule changes which
+/// messages a GPU may start combining when, and how modeled time
+/// composes — never what is computed or sent: W and H counters are
+/// bit-identical across modes.
+enum class SyncMode {
+  /// Strict BSP: all compute, then all package+push, comm-stream
+  /// sync, barrier A (messages visible), combine, barrier B
+  /// (convergence). Modeled superstep time is the serial
+  /// max(compute) + max(comm) + l(n).
+  kBspBarrier,
+  /// Event-driven pipeline: per-peer chunked package+push with a
+  /// per-(sender, receiver) comm-stream Event handshake replacing
+  /// barrier A; a receiver combines each sender's messages as soon as
+  /// that sender's event fires (in sender order, preserving the
+  /// deterministic (src_gpu, tag) combine order). Only the
+  /// convergence barrier B remains; modeled superstep time is the
+  /// critical path of the overlapped compute/comm stream timelines.
+  kEventPipeline,
+};
+
+std::string to_string(SyncMode m);
+
 struct Message {
   int src_gpu = -1;
   /// Primitive-defined discriminator for primitives that exchange more
@@ -160,8 +182,24 @@ class CommBus {
   /// that follows all senders' comm-stream synchronization. Returns a
   /// reference to a per-receiver batch that stays valid until the next
   /// drain(dst) / release_drained(dst); the previous batch (if any) is
-  /// recycled into the pool first.
+  /// recycled into the pool first — unless strict-drain mode is on, in
+  /// which case an unreleased batch is a hard error.
   std::vector<Message>& drain(int dst);
+
+  /// Pipeline-mode drain: take only the messages sender `src` has
+  /// deposited for `dst` so far, sorted by tag. The caller must have
+  /// waited on the (src -> dst) handshake event first, so "so far" is
+  /// exactly this superstep's messages from that sender. Unlike
+  /// drain(), the previous drained batch must already have been
+  /// recycled via release_drained(dst): combining may still hold
+  /// pointers into it, so silently clobbering it is a framework bug
+  /// and raises kInternal instead.
+  std::vector<Message>& drain_from(int dst, int src);
+
+  /// Strict drain protocol (set by the enactor in pipeline mode):
+  /// drain(dst) with an unreleased previous batch becomes a hard
+  /// error instead of a silent recycle.
+  void set_strict_drain(bool strict) { strict_drain_ = strict; }
 
   /// Recycle `dst`'s last drained batch into the pool. Call after
   /// combining so the buffers are available to the next iteration's
@@ -188,6 +226,7 @@ class CommBus {
   std::vector<std::vector<Message>> drained_;   // per receiver scratch
   mutable std::mutex pool_mutex_;
   std::vector<Message> pool_;
+  bool strict_drain_ = false;
 };
 
 }  // namespace mgg::core

@@ -9,13 +9,16 @@
 namespace mgg::core {
 
 EnactorBase::EnactorBase(ProblemBase& problem)
-    : problem_(problem), n_(problem.num_gpus()) {
+    : problem_(problem),
+      n_(problem.num_gpus()),
+      pipeline_(problem.config().sync_mode == SyncMode::kEventPipeline) {
   const Config& cfg = problem.config();
   slices_.reserve(n_);
   for (int gpu = 0; gpu < n_; ++gpu) {
     auto s = std::make_unique<Slice>();
     s->gpu = gpu;
     s->device = &problem.device(gpu);
+    s->peer_signaled.assign(static_cast<std::size_t>(n_), 0);
     s->sub = &problem.sub(gpu);
     const graph::Graph& csr = s->sub->csr;
     s->frontier.init(*s->device, cfg.scheme, csr.num_vertices,
@@ -49,17 +52,30 @@ EnactorBase::EnactorBase(ProblemBase& problem)
     slices_.push_back(std::move(s));
   }
   bus_ = std::make_unique<CommBus>(problem.machine());
+  if (pipeline_) {
+    bus_->set_strict_drain(true);
+    handshakes_ = std::make_unique<HandshakeTable>(n_);
+  }
+  // The barrier completes when its slowest participant arrives, so a
+  // heterogeneous machine's l(n) is scaled by the max across devices,
+  // not device 0's value.
+  sync_scale_ = 0;
+  for (const auto& s : slices_) {
+    sync_scale_ = std::max(sync_scale_, s->device->model().sync_scale);
+  }
   errors_.assign(static_cast<std::size_t>(n_) + 1, nullptr);
 
   barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
       n_, std::function<void()>([this] {
-        // Two barriers per iteration share one object; the completion
-        // callback runs exclusively, so plain member state is safe.
-        if (barrier_phase_ == 0) {
-          barrier_phase_ = 1;  // post-push: messages all deposited
-        } else {
+        // The completion callback runs exclusively, so plain member
+        // state is safe. BSP uses two barriers per iteration sharing
+        // this object; the pipeline keeps only the convergence
+        // barrier, so every completion closes the superstep.
+        if (pipeline_ || barrier_phase_ == 1) {
           barrier_phase_ = 0;
           close_iteration();  // post-combine: close the superstep
+        } else {
+          barrier_phase_ = 1;  // post-push: messages all deposited
         }
       }));
 
@@ -132,6 +148,7 @@ vgpu::RunStats EnactorBase::enact() {
   }
   barrier_phase_ = 0;
   bus_->reset();
+  if (pipeline_) handshakes_->reset();
   // Dense frontiers are strictly opt-in: the threshold only reaches the
   // operator contexts when the primitive declares support. Wired here
   // (not the constructor) because dense_frontier_capable() is virtual.
@@ -141,6 +158,8 @@ vgpu::RunStats EnactorBase::enact() {
   for (auto& s : slices_) {
     s->combine_items = 0;
     s->ctx.dense_threshold = dense_threshold;
+    s->superstep = 0;
+    std::fill(s->peer_signaled.begin(), s->peer_signaled.end(), 0);
     dense_switch_base += s->frontier.dense_switches();
     s->device->harvest_iteration();  // drop stale counters
   }
@@ -212,9 +231,19 @@ void EnactorBase::record_error(int slot) {
     if (errors_[slot] == nullptr) errors_[slot] = std::current_exception();
   }
   error_flag_.store(true, std::memory_order_release);
+  // Pipeline mode: receivers block on per-sender events, not on a
+  // barrier, so a worker that dies before publishing would strand
+  // them. Aborting the table hands every present and future take() a
+  // pre-fired event; everyone then drains to the convergence barrier
+  // under the shared error flag, exactly like the barrier schedule.
+  if (pipeline_) handshakes_->abort();
 }
 
 void EnactorBase::run_loop(int gpu) {
+  if (pipeline_) {
+    run_loop_pipeline(gpu);
+    return;
+  }
   Slice& s = slice(gpu);
   for (;;) {
     // --- compute + communicate (overlapped via the comm stream) ---
@@ -260,6 +289,107 @@ void EnactorBase::run_loop(int gpu) {
   }
 }
 
+void EnactorBase::run_loop_pipeline(int gpu) {
+  Slice& s = slice(gpu);
+  for (;;) {
+    // --- compute + per-peer chunked package/push ---
+    // communicate() pushes each peer's message as soon as its bucket
+    // is packaged and (on the framework paths) records the handshake
+    // event right behind it, so early peers' transfers and combines
+    // overlap the packaging of later peers.
+    try {
+      if (!has_error()) {
+        iteration_core(s);
+        communicate(s);
+      }
+    } catch (...) {
+      record_error(gpu);
+    }
+    // Complete this sender's handshake row even when the hooks threw
+    // or were skipped: receivers block on these events, not a barrier.
+    try {
+      publish_handshakes(s);
+    } catch (...) {
+      record_error(gpu);  // record_error aborts the table -> no hangs
+    }
+
+    // --- combine, sender by sender in ascending src order ---
+    // Each sender's messages are consumed as soon as that sender's
+    // event fires; processing senders in src order (with drain_from's
+    // per-sender tag sort) reproduces the barrier schedule's
+    // deterministic (src_gpu, tag) combine order bit for bit.
+    for (int src = 0; src < n_; ++src) {
+      if (src == s.gpu) continue;
+      try {
+        vgpu::Event ready = handshakes_->take(src, s.gpu, s.superstep);
+        // cudaStreamWaitEvent analog: queue the wait on our compute
+        // stream, then join it from the host — the combine below is
+        // ordered behind the sender's last push to us.
+        s.device->compute_stream().wait_event(std::move(ready));
+        s.device->compute_stream().synchronize();
+        auto& messages = bus_->drain_from(s.gpu, src);
+        if (!has_error()) {
+          for (const Message& msg : messages) {
+            expand_incoming(s, msg);
+            s.combine_items += msg.vertices.size();
+            // The combine kernel is communication computation (C).
+            s.device->add_kernel_cost(0, msg.vertices.size(), 1);
+          }
+        }
+        // Recycle before the next sender's drain (strict protocol).
+        bus_->release_drained(s.gpu);
+      } catch (...) {
+        record_error(gpu);
+      }
+    }
+
+    // Retire our own pushes before the superstep closes: the harvest
+    // in close_iteration must see every transfer this superstep
+    // charged, and any exception a push task raised must surface now
+    // (the barrier schedule gets both from its pre-barrier-A sync).
+    try {
+      s.device->comm_stream().synchronize();
+    } catch (...) {
+      record_error(gpu);
+    }
+    ++s.superstep;
+    barrier_->arrive_and_wait();  // convergence barrier (B): closes step
+
+    if (stop_flag_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void EnactorBase::mark_peer_pushed(Slice& s, int peer) {
+  if (!pipeline_ || peer == s.gpu) return;
+  MGG_ASSERT(!s.peer_signaled[peer],
+             "mark_peer_pushed called twice for one peer in a superstep");
+  handshakes_->publish(s.gpu, peer, s.superstep,
+                       s.device->comm_stream().record_event());
+  s.peer_signaled[peer] = 1;
+}
+
+void EnactorBase::mark_peer_idle(Slice& s, int peer) {
+  if (!pipeline_ || peer == s.gpu) return;
+  MGG_ASSERT(!s.peer_signaled[peer],
+             "mark_peer_idle called after this peer was already signaled");
+  // Nothing travels to `peer` this superstep, so its handshake must
+  // not wait behind our pushes to *other* peers on the in-order comm
+  // stream: publish an already-fired event instead of recording one.
+  vgpu::Event none;
+  none.fire();
+  handshakes_->publish(s.gpu, peer, s.superstep, std::move(none));
+  s.peer_signaled[peer] = 1;
+}
+
+void EnactorBase::publish_handshakes(Slice& s) {
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == s.gpu || s.peer_signaled[peer]) continue;
+    handshakes_->publish(s.gpu, peer, s.superstep,
+                         s.device->comm_stream().record_event());
+  }
+  std::fill(s.peer_signaled.begin(), s.peer_signaled.end(), 0);
+}
+
 void EnactorBase::close_iteration() {
   // A throw out of a std::barrier completion callback would terminate
   // the process (and strand every thread parked on the barrier), so
@@ -278,6 +408,7 @@ void EnactorBase::close_iteration_body() {
   record.iteration = iteration_;
   double max_compute = 0;
   double max_comm = 0;
+  double max_critical = 0;
   double sum_compute = 0;
   for (auto& s : slices_) {
     const vgpu::IterationCounters c = s->device->harvest_iteration();
@@ -290,12 +421,32 @@ void EnactorBase::close_iteration_body() {
     record.comm_items += c.items_out;
     max_compute = std::max(max_compute, c.compute_s);
     max_comm = std::max(max_comm, c.comm_s);
+    // A GPU's superstep ends when both its stream timelines do: its
+    // kernels (compute_s) and its last transfer (comm_tail_s, which
+    // already accounts for transfers waiting on the kernels that
+    // packaged them via the push-time ready stamp).
+    max_critical =
+        std::max(max_critical, std::max(c.compute_s, c.comm_tail_s));
     sum_compute += c.compute_s;
   }
   run_stats_.modeled_compute_s += max_compute;
   run_stats_.modeled_comm_s += max_comm;
-  const double overhead = vgpu::sync_overhead_seconds(n_) *
-                          slices_[0]->device->model().sync_scale;
+  // Overlap credit (pipeline schedule only): the barrier schedule is
+  // charged serially, max(compute) + max(comm); the pipeline's charge
+  // is the per-GPU critical path of the two overlapped streams. The
+  // difference is the comm time hidden under compute — provably in
+  // [0, max_comm] since max_critical >= max of both terms.
+  double hidden = 0;
+  if (pipeline_) {
+    hidden = std::max(
+        0.0, max_compute + max_comm - std::max(max_critical, max_compute));
+  }
+  run_stats_.modeled_overlap_hidden_s += hidden;
+  // One barrier's worth of latency per superstep in pipeline mode (only
+  // the convergence barrier remains); two in BSP. The two-barrier value
+  // is bit-identical to the historical l(n) charge.
+  const double overhead =
+      vgpu::sync_overhead_seconds(n_, pipeline_ ? 1 : 2) * sync_scale_;
   run_stats_.modeled_overhead_s += overhead;
   ++run_stats_.iterations;
   ++iteration_;
@@ -311,6 +462,9 @@ void EnactorBase::close_iteration_body() {
   record.compute_s = max_compute;
   record.comm_s = max_comm;
   record.overhead_s = overhead;
+  record.comm_hidden_s = hidden;
+  record.comm_hidden_frac =
+      max_comm > 0 ? std::min(1.0, hidden / max_comm) : 0.0;
   record.gpu_imbalance =
       sum_compute > 0 ? max_compute / (sum_compute / n_) : 1.0;
   iteration_records_.push_back(record);
@@ -361,6 +515,14 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
   const int nva = num_vertex_associates();
   const int nvv = num_value_associates();
 
+  // Pipeline mode charges the split/package kernel in per-peer chunks
+  // (tracked here) so each transfer's ready stamp covers only the
+  // packaging it actually waited for; the tail charge below tops the
+  // totals up to the barrier schedule's single (out_items, 1 launch)
+  // charge, keeping W bit-identical across modes.
+  std::uint64_t chunk_vertices = 0;
+  std::uint64_t chunk_launches = 0;
+
   if (strategy == CommStrategy::kBroadcast) {
     // Each peer receives the whole generated frontier (duplicate-all
     // guarantees local ID == global ID on every GPU). Package once
@@ -380,11 +542,24 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
       for (int slot = 0; slot < nvv; ++slot) {
         fill_value_associates(s, slot, sent, proto.value_slot(slot).data());
       }
+      if (pipeline_) {
+        // The single packaging pass produced every peer's payload, so
+        // the whole charge lands before the first push: each transfer
+        // becomes ready the moment packaging finished.
+        s.device->add_kernel_cost(0, out_items, 1);
+        chunk_vertices = out_items;
+        chunk_launches = 1;
+      }
       for (int peer = 0; peer < n_; ++peer) {
         if (peer == s.gpu) continue;
         Message message = bus_->acquire();
         message.assign_from(proto);
         bus_->push(s.gpu, peer, std::move(message));
+        mark_peer_pushed(s, peer);
+      }
+    } else {
+      for (int peer = 0; peer < n_; ++peer) {
+        if (peer != s.gpu) mark_peer_idle(s, peer);
       }
     }
     frontier.split_output([&](VertexT v) { return sub.is_hosted(v); },
@@ -396,8 +571,18 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
     // gather per associate slot.
     route_output_frontier(s);
     for (int peer = 0; peer < n_; ++peer) {
+      if (peer == s.gpu) continue;
       const std::span<const VertexT> sources = peer_bucket(s, peer);
-      if (peer == s.gpu || sources.empty()) continue;
+      if (sources.empty()) {
+        mark_peer_idle(s, peer);
+        continue;
+      }
+      if (pipeline_) {
+        // This peer's slice of the packaging kernel: its transfer may
+        // start once this chunk is done, not after the whole pass.
+        s.device->add_kernel_cost(0, sources.size(), 0);
+        chunk_vertices += sources.size();
+      }
       Message message = bus_->acquire();
       message.set_layout(nva, nvv, sources.size());
       // Translate to receiver-local IDs (the conversion-table pass).
@@ -413,11 +598,19 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
                               message.value_slot(slot).data());
       }
       bus_->push(s.gpu, peer, std::move(message));
+      mark_peer_pushed(s, peer);
     }
   }
 
-  // The split/package step is itself a kernel (C in Table I).
-  s.device->add_kernel_cost(0, out_items, 1);
+  // The split/package step is itself a kernel (C in Table I). In
+  // pipeline mode only the not-yet-charged remainder (the local
+  // compaction share, plus the launch unless broadcast charged it).
+  if (pipeline_) {
+    s.device->add_kernel_cost(0, out_items - chunk_vertices,
+                              1 - chunk_launches);
+  } else {
+    s.device->add_kernel_cost(0, out_items, 1);
+  }
   frontier.swap();
 }
 

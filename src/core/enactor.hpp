@@ -6,8 +6,13 @@
 //   - one dedicated CPU control thread per GPU ("Manage GPUs"), with
 //     the paper's Idle/Wait/Running/ToKill status protocol (Appendix A)
 //     implemented with condition variables instead of sleep(0) spins;
-//   - the per-iteration BSP loop: core -> split -> package -> push ->
-//     barrier -> combine -> barrier -> convergence check;
+//   - the per-iteration superstep loop, in one of two schedules
+//     (Config::sync_mode): classic BSP — core -> split -> package ->
+//     push -> barrier -> combine -> barrier -> convergence check — or
+//     the event-driven pipeline, where each peer's message is pushed
+//     as soon as its bucket is packaged, barrier A is replaced by
+//     per-(sender, receiver) comm-stream events (docs/architecture.md
+//     §8), and only the convergence barrier remains;
 //   - the framework-owned communication steps: splitting the output
 //     frontier into local and remote sub-frontiers, packaging the
 //     primitive's associated data, pushing on the communication
@@ -37,6 +42,7 @@
 
 #include "core/comm.hpp"
 #include "core/frontier.hpp"
+#include "core/handshake.hpp"
 #include "core/operators.hpp"
 #include "core/problem.hpp"
 #include "vgpu/cost.hpp"
@@ -65,6 +71,12 @@ class EnactorBase {
     util::PodVector<SizeT> route_cursor;   ///< scatter cursors (n_)
     util::PodVector<VertexT> route_sources;
     Message broadcast_proto;
+    /// Pipeline mode: this worker's superstep counter (advances in
+    /// lockstep across workers through the convergence barrier) and
+    /// which peers already had their handshake event recorded this
+    /// superstep (via mark_peer_pushed).
+    std::uint64_t superstep = 0;
+    util::PodVector<std::uint8_t> peer_signaled;
   };
 
   explicit EnactorBase(ProblemBase& problem);
@@ -205,11 +217,41 @@ class EnactorBase {
                                      s.route_offsets[peer])};
   }
 
+  /// Pipeline mode: declare that this slice will push nothing more to
+  /// `peer` this superstep, and record the (gpu -> peer) handshake
+  /// event on the comm stream right now — so the receiver can start
+  /// combining this sender's messages while the remaining peers are
+  /// still being packaged. No-op under the barrier schedule. Calling
+  /// this and then pushing to the same peer again in the same
+  /// superstep is a protocol violation (the receiver may drain before
+  /// the late message lands). Peers not marked by the end of
+  /// communicate() are signaled automatically afterwards, so
+  /// primitives that push several tagged messages per peer (BC) can
+  /// simply never call this.
+  void mark_peer_pushed(Slice& s, int peer);
+
+  /// Pipeline mode: declare that this slice sends nothing at all to
+  /// `peer` this superstep. Publishes a pre-fired event, so the
+  /// receiver proceeds immediately instead of waiting behind this
+  /// sender's pushes to *other* peers on the in-order comm stream.
+  /// Same single-signal-per-peer-per-superstep contract as
+  /// mark_peer_pushed. No-op under the barrier schedule.
+  void mark_peer_idle(Slice& s, int peer);
+
+  /// Whether this enactor runs the event-driven pipeline schedule.
+  bool pipeline_mode() const noexcept { return pipeline_; }
+
  private:
   enum class ThreadStatus { kWait, kRunning, kIdle, kToKill };
 
   void worker(int gpu);
   void run_loop(int gpu);
+  void run_loop_pipeline(int gpu);
+  /// Record + publish handshake events for every peer not already
+  /// signaled via mark_peer_pushed, then clear the marks. Runs even on
+  /// the error path: receivers block on these events, not on a
+  /// barrier.
+  void publish_handshakes(Slice& s);
   void close_iteration();       // barrier completion, runs exclusively
   void close_iteration_body();  // the fallible part of the above
   /// Record the current exception against `slot` (a GPU index, or n_
@@ -223,8 +265,16 @@ class EnactorBase {
 
   ProblemBase& problem_;
   int n_ = 0;
+  /// Event-pipeline schedule selected (Config::sync_mode)?
+  bool pipeline_ = false;
+  /// l(n) multiplier: the *max* sync_scale across participating
+  /// devices — a barrier completes when its slowest participant
+  /// arrives, so heterogeneous vGPU models must not be averaged away
+  /// by reading device 0 only.
+  double sync_scale_ = 1.0;
   std::vector<std::unique_ptr<Slice>> slices_;
   std::unique_ptr<CommBus> bus_;
+  std::unique_ptr<HandshakeTable> handshakes_;
 
   // Thread management (paper's ThreadSlice protocol).
   std::vector<std::thread> threads_;

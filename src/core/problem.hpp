@@ -26,6 +26,12 @@ struct Config {
   std::string partitioner = "random";
   part::Duplication duplication = part::Duplication::kAll;
   CommStrategy comm = CommStrategy::kSelective;
+  /// Superstep schedule: classic two-barrier BSP, or the event-driven
+  /// pipeline (per-peer chunked push + per-(sender, receiver) event
+  /// handshakes; only the convergence barrier remains). Results, W,
+  /// and H are bit-identical across modes — only the schedule and the
+  /// modeled time change.
+  SyncMode sync_mode = SyncMode::kBspBarrier;
   vgpu::AllocationScheme scheme = vgpu::AllocationScheme::kPreallocFusion;
   LoadBalance load_balance = LoadBalance::kEdgeBalanced;
   std::uint64_t seed = 1;

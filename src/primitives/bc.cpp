@@ -130,6 +130,11 @@ void BcEnactor::core_backward(Slice& s) {
   s.frontier.commit_output(0);
 }
 
+// Pipeline note: the forward phase pushes TWO messages to each peer
+// (kSigmaPartial, then the kFinalizedLevel broadcast), so no peer's
+// handshake may be signaled after the first push — the enactor's
+// post-communicate backfill records each peer's event once all pushes
+// are on the comm stream, which is the conservative correct schedule.
 void BcEnactor::communicate(Slice& s) {
   if (phase_ == Phase::kForward) {
     communicate_forward(s);

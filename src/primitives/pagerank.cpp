@@ -90,9 +90,21 @@ void PagerankEnactor::communicate(Slice& s) {
   PagerankProblem::DataSlice& d = pr_problem_.data(s.gpu);
   const part::SubGraph& sub = *s.sub;
   route_items(s, d.border, [&](VertexT p) { return d.acc[p] != 0; });
+  std::uint64_t chunk_vertices = 0;
   for (int peer = 0; peer < num_gpus(); ++peer) {
+    if (peer == s.gpu) continue;
     const std::span<const VertexT> sources = peer_bucket(s, peer);
-    if (peer == s.gpu || sources.empty()) continue;
+    if (sources.empty()) {
+      mark_peer_idle(s, peer);
+      continue;
+    }
+    if (pipeline_mode()) {
+      // This peer's chunk of the packaging kernel: its transfer may
+      // start as soon as the chunk is done (see EnactorBase's
+      // split_frontier_and_push for the pattern).
+      s.device->add_kernel_cost(0, sources.size(), 0);
+      chunk_vertices += sources.size();
+    }
     core::Message msg = bus().acquire();
     msg.set_layout(0, 1, sources.size());
     const auto acc_out = msg.value_slot(0);
@@ -103,8 +115,12 @@ void PagerankEnactor::communicate(Slice& s) {
       d.acc[p] = 0;
     }
     bus().push(s.gpu, peer, std::move(msg));
+    mark_peer_pushed(s, peer);
   }
-  s.device->add_kernel_cost(0, d.border.size(), 1);
+  // Remainder of the packaging charge (BSP: the whole thing, since no
+  // chunks were carved out above). Vertex/launch totals match across
+  // modes by construction.
+  s.device->add_kernel_cost(0, d.border.size() - chunk_vertices, 1);
   s.frontier.swap();
 }
 

@@ -2,16 +2,26 @@
 
 namespace mgg::vgpu {
 
-double sync_overhead_seconds(int active_gpus) {
+double sync_overhead_seconds(int active_gpus, int barriers) {
   // Calibrated against §V-B's measured per-iteration times of
   // {66.8, 124, 142, 188} us for 1-4 GPUs (which include ~2-5 kernel
   // launches at ~3 us that the operators already count): base ~60 us,
   // +42 us once any inter-GPU sync exists, +16 us per additional GPU.
+  // The inter-GPU term was calibrated with the two-barrier BSP
+  // schedule, so it is split evenly per barrier; dividing and
+  // multiplying by 2 are exact in floating point, so barriers == 2
+  // reproduces the original value bit for bit.
   double overhead = 60e-6;
-  if (active_gpus >= 2) {
-    overhead += 42e-6 + 16e-6 * static_cast<double>(active_gpus - 1);
+  if (active_gpus >= 2 && barriers > 0) {
+    const double per_barrier =
+        (42e-6 + 16e-6 * static_cast<double>(active_gpus - 1)) / 2.0;
+    overhead += per_barrier * static_cast<double>(barriers);
   }
   return overhead;
+}
+
+double sync_overhead_seconds(int active_gpus) {
+  return sync_overhead_seconds(active_gpus, 2);
 }
 
 }  // namespace mgg::vgpu

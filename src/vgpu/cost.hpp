@@ -21,6 +21,13 @@ namespace mgg::vgpu {
 struct IterationCounters {
   double compute_s = 0;     ///< modeled kernel time
   double comm_s = 0;        ///< modeled transfer time charged to this GPU
+  /// Finish time of the comm-stream timeline within this iteration:
+  /// each transfer starts at max(previous transfer's end, the compute
+  /// timeline position when it was submitted — its data dependency).
+  /// Always >= comm_s for a busy stream; the gap is time the comm
+  /// stream spent waiting on compute. Only the event-pipeline schedule
+  /// reads it (the BSP model charges the serial sum).
+  double comm_tail_s = 0;
   std::uint64_t edges = 0;  ///< advance work items (contributes to W)
   std::uint64_t vertices = 0;   ///< filter/combine items (W and C)
   std::uint64_t launches = 0;   ///< kernel launches this iteration
@@ -45,10 +52,17 @@ struct RunStats {
   double modeled_compute_s = 0;  ///< Σ max-GPU compute per iteration
   double modeled_comm_s = 0;     ///< Σ max-GPU comm per iteration
   double modeled_overhead_s = 0; ///< Σ l(n)
+  /// Σ communication time hidden under compute by the event-driven
+  /// pipeline schedule (SyncMode::kEventPipeline): per superstep, the
+  /// serial charge max(compute)+max(comm) minus the critical path of
+  /// the two overlapped stream timelines. Always 0 under the BSP
+  /// barrier schedule, so modeled_total_s() is unchanged there.
+  double modeled_overlap_hidden_s = 0;
   double wall_s = 0;             ///< real host time (diagnostic only)
 
   double modeled_total_s() const {
-    return modeled_compute_s + modeled_comm_s + modeled_overhead_s;
+    return modeled_compute_s + modeled_comm_s + modeled_overhead_s -
+           modeled_overlap_hidden_s;
   }
 
   /// Traversed-edges-per-second against an externally supplied edge
@@ -74,6 +88,13 @@ struct IterationRecord {
   double compute_s = 0;              ///< max-GPU compute
   double comm_s = 0;                 ///< max-GPU communication
   double overhead_s = 0;             ///< l(n)
+  /// Comm seconds hidden under compute this superstep (0 under BSP;
+  /// compute_s + comm_s + overhead_s - comm_hidden_s is the modeled
+  /// superstep time in either schedule).
+  double comm_hidden_s = 0;
+  /// comm_hidden_s / comm_s in [0, 1]; how much of the superstep's
+  /// communication the pipeline schedule overlapped away.
+  double comm_hidden_frac = 0;
   /// max / mean per-GPU compute this superstep (1.0 = perfectly
   /// balanced): the §V-B "load imbalance between GPUs" component of l.
   double gpu_imbalance = 1.0;
@@ -87,7 +108,17 @@ struct IterationRecord {
 /// the operators, so this function models only the residual barrier
 /// cost: a base CPU-side loop cost, a jump when inter-GPU
 /// synchronization first appears (n >= 2), and a per-extra-GPU term.
+/// This single-argument form models the default two-barrier BSP
+/// schedule (barrier A after pushes, barrier B after combines).
 double sync_overhead_seconds(int active_gpus);
+
+/// Schedule-aware variant: the base CPU-side loop cost plus the
+/// inter-GPU rendezvous cost charged once per host-side barrier.
+/// `barriers == 2` reproduces the single-argument calibration exactly;
+/// the event pipeline keeps only the convergence barrier (B), so it
+/// charges `barriers == 1` — per-peer event waits ride on the streams
+/// and are hidden, not host-side rendezvous.
+double sync_overhead_seconds(int active_gpus, int barriers);
 
 /// Scales compute/communication for vertex- and edge-ID width
 /// (Table V: 64-bit IDs double bandwidth demand and halve throughput).

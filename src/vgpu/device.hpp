@@ -63,13 +63,31 @@ class Device {
   }
 
   /// Record a transfer this GPU pushed: modeled seconds, raw bytes,
-  /// communicated items (vertices, for H accounting).
+  /// communicated items (vertices, for H accounting). `ready_s` is the
+  /// compute-timeline position when the transfer was submitted (see
+  /// modeled_compute_time()) — its data dependency. The comm timeline
+  /// places the transfer at max(previous transfer's end, ready_s), so
+  /// counters_.comm_tail_s models the comm stream running concurrently
+  /// with compute rather than after it. Callers that model a serial
+  /// schedule can leave ready_s at 0 (tail then equals the busy sum).
   void add_comm_cost(double seconds, std::uint64_t bytes,
-                     std::uint64_t items) {
+                     std::uint64_t items, double ready_s = 0.0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    counters_.comm_s += seconds * id_scale_;
+    const double scaled = seconds * id_scale_;
+    counters_.comm_tail_s =
+        std::max(counters_.comm_tail_s, ready_s) + scaled;
+    counters_.comm_s += scaled;
     counters_.bytes_out += bytes;
     counters_.items_out += items;
+  }
+
+  /// Modeled compute-timeline position within the current iteration:
+  /// the earliest point a transfer submitted "now" could start. Thread
+  /// safe (the comm layer stamps it from enactor control threads while
+  /// stream workers record costs).
+  double modeled_compute_time() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.compute_s;
   }
 
   /// Snapshot and clear the per-iteration counters (called by the
@@ -83,6 +101,12 @@ class Device {
 
   /// Table V knob: scale traffic-bound costs for wider IDs.
   void set_id_scale(double scale) { id_scale_ = scale; }
+
+  /// Heterogeneity knob (tests / what-if modeling): override this
+  /// device's barrier-cost multiplier. The enactor charges l(n) scaled
+  /// by the *max* sync_scale across participating devices — a barrier
+  /// completes when its slowest participant arrives.
+  void set_sync_scale(double scale) { model_.sync_scale = scale; }
 
   /// Workload-scale knob (see Machine::set_workload_scale): per-item
   /// compute time is multiplied so a 1/k-scale analog graph models the
@@ -102,7 +126,7 @@ class Device {
   MemoryManager memory_;
   Stream compute_stream_;
   Stream comm_stream_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   IterationCounters counters_;
   double id_scale_ = 1.0;
   double workload_scale_ = 1.0;

@@ -30,6 +30,7 @@ std::string run_stats_to_json(const RunStats& stats,
   w.key("modeled_compute_s").value(stats.modeled_compute_s);
   w.key("modeled_comm_s").value(stats.modeled_comm_s);
   w.key("modeled_overhead_s").value(stats.modeled_overhead_s);
+  w.key("modeled_overlap_hidden_s").value(stats.modeled_overlap_hidden_s);
   w.key("modeled_total_s").value(stats.modeled_total_s());
   w.key("wall_s").value(stats.wall_s);
   if (!records.empty()) {
@@ -46,6 +47,8 @@ std::string run_stats_to_json(const RunStats& stats,
       w.key("compute_s").value(r.compute_s);
       w.key("comm_s").value(r.comm_s);
       w.key("overhead_s").value(r.overhead_s);
+      w.key("comm_hidden_s").value(r.comm_hidden_s);
+      w.key("comm_hidden_frac").value(r.comm_hidden_frac);
       w.key("gpu_imbalance").value(r.gpu_imbalance);
       w.end_object();
     }

@@ -6,12 +6,14 @@
 
 #include <array>
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/comm.hpp"
+#include "core/handshake.hpp"
 #include "test_support.hpp"
 #include "util/random.hpp"
 #include "vgpu/stream.hpp"
@@ -195,6 +197,93 @@ TEST(StreamStress, CommResetUnderConcurrentPushTraffic) {
     EXPECT_TRUE(bus.drain(d).empty());
   }
   EXPECT_GT(bus.pool_size(), 0u);
+}
+
+// The event-pipeline handshake protocol under adversarial timing:
+// n workers run many supersteps in lockstep (convergence barrier
+// only, like the pipeline enactor), each sleeping a random amount
+// before producing, publishing per-peer comm-stream events and
+// consuming peers' events via wait_event on its own compute stream.
+// The payload cells are deliberately unsynchronized apart from the
+// handshake itself, so any hole in the publish/take + record/wait
+// happens-before chain shows up as a wrong value — and, under the
+// TSan build this suite also runs in, as a data race.
+TEST(StreamStress, HandshakeOrderingUnderRandomizedDelays) {
+  constexpr int kGpus = 4;
+  constexpr int kSupersteps = 150;
+  auto machine = test::test_machine(kGpus);
+  core::HandshakeTable table(kGpus);
+
+  // mailbox[src][dst]: last value src's comm stream wrote for dst.
+  std::uint64_t mailbox[kGpus][kGpus] = {};
+  std::atomic<std::uint64_t> verified{0};
+  std::atomic<int> mismatches{0};
+  std::barrier<> step_barrier(kGpus);
+
+  auto worker = [&](int g) {
+    util::Rng rng(1000 + g);
+    vgpu::Device& dev = machine.device(g);
+    for (std::uint64_t step = 0; step < kSupersteps; ++step) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.next_below(200)));
+      for (int peer = 0; peer < kGpus; ++peer) {
+        if (peer == g) continue;
+        std::uint64_t* cell = &mailbox[g][peer];
+        const std::uint64_t value = step * 1000 + static_cast<std::uint64_t>(g);
+        dev.comm_stream().submit([cell, value] { *cell = value; });
+        table.publish(g, peer, step, dev.comm_stream().record_event());
+      }
+      for (int src = 0; src < kGpus; ++src) {
+        if (src == g) continue;
+        dev.compute_stream().wait_event(table.take(src, g, step));
+        dev.compute_stream().synchronize();
+        if (mailbox[src][g] !=
+            step * 1000 + static_cast<std::uint64_t>(src)) {
+          mismatches.fetch_add(1);
+        }
+        verified.fetch_add(1);
+      }
+      dev.comm_stream().synchronize();
+      step_barrier.arrive_and_wait();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int g = 0; g < kGpus; ++g) threads.emplace_back(worker, g);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(verified.load(),
+            static_cast<std::uint64_t>(kGpus) * (kGpus - 1) * kSupersteps);
+}
+
+// abort() racing blocked takers: every take must return (pre-fired)
+// instead of deadlocking, no matter where in the superstep each taker
+// was when the abort landed.
+TEST(StreamStress, HandshakeAbortUnblocksAllTakers) {
+  constexpr int kGpus = 4;
+  core::HandshakeTable table(kGpus);
+  std::atomic<int> returned{0};
+  std::vector<std::thread> takers;
+  for (int g = 1; g < kGpus; ++g) {
+    takers.emplace_back([&, g] {
+      // GPU 0 died before publishing superstep 5; these block.
+      vgpu::Event e = table.take(0, g, 5);
+      e.wait();  // pre-fired: must not hang
+      returned.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  table.abort();
+  for (auto& t : takers) t.join();
+  EXPECT_EQ(returned.load(), kGpus - 1);
+  // Late stragglers after the abort: publish is dropped, take returns
+  // immediately.
+  table.publish(1, 2, 7, vgpu::Event{});
+  vgpu::Event late = table.take(3, 2, 9);
+  late.wait();
+  // A reset re-arms the table for the next run.
+  table.reset();
+  EXPECT_FALSE(table.aborted());
 }
 
 TEST(StreamStress, DestructorDrainsQueue) {

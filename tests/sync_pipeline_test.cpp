@@ -1,0 +1,373 @@
+// Differential tests for the event-driven superstep pipeline
+// (Config::sync_mode == SyncMode::kEventPipeline).
+//
+// The pipeline replaces barrier A with per-(sender, receiver) event
+// handshakes and charges the overlap-aware cost model, but it is
+// required to be *observationally identical* to the barrier schedule
+// everywhere else: results, W (edges/vertices/launches), and H
+// (comm items/bytes, combine items) must match bit for bit at every
+// GPU count, for every primitive, under both comm strategies, and
+// regardless of thread timing. These tests pin that contract.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "core/enactor.hpp"
+#include "core/problem.hpp"
+#include "primitives/bc.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/sssp.hpp"
+#include "test_support.hpp"
+#include "vgpu/cost.hpp"
+
+namespace mgg {
+namespace {
+
+core::Config pipeline_config(int gpus) {
+  core::Config cfg = test::config_for(gpus);
+  cfg.sync_mode = core::SyncMode::kEventPipeline;
+  return cfg;
+}
+
+/// The integer counters that define W and H; modeled *times* are
+/// allowed to differ between schedules (that is the point), counters
+/// are not.
+void expect_same_counters(const vgpu::RunStats& bsp,
+                          const vgpu::RunStats& pipe,
+                          const std::string& label) {
+  EXPECT_EQ(bsp.iterations, pipe.iterations) << label;
+  EXPECT_EQ(bsp.total_edges, pipe.total_edges) << label;
+  EXPECT_EQ(bsp.total_vertices, pipe.total_vertices) << label;
+  EXPECT_EQ(bsp.total_launches, pipe.total_launches) << label;
+  EXPECT_EQ(bsp.total_comm_items, pipe.total_comm_items) << label;
+  EXPECT_EQ(bsp.total_comm_bytes, pipe.total_comm_bytes) << label;
+  EXPECT_EQ(bsp.total_combine_items, pipe.total_combine_items) << label;
+}
+
+TEST(SyncPipeline, BfsBitIdenticalAcrossModesAtEveryWidth) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  for (const int gpus : {1, 2, 3, 4, 6, 8}) {
+    auto m_bsp = test::test_machine(gpus);
+    auto m_pipe = test::test_machine(gpus);
+    core::Config cfg = test::config_for(gpus);
+    cfg.mark_predecessors = true;
+    core::Config pcfg = cfg;
+    pcfg.sync_mode = core::SyncMode::kEventPipeline;
+    const auto bsp = prim::run_bfs(g, src, m_bsp, cfg);
+    const auto pipe = prim::run_bfs(g, src, m_pipe, pcfg);
+    const std::string label = "gpus=" + std::to_string(gpus);
+    EXPECT_EQ(bsp.labels, pipe.labels) << label;
+    EXPECT_EQ(bsp.preds, pipe.preds) << label;
+    expect_same_counters(bsp.stats, pipe.stats, label);
+    // The barrier schedule never reports hidden comm.
+    EXPECT_EQ(bsp.stats.modeled_overlap_hidden_s, 0.0) << label;
+    if (gpus >= 2) {
+      // One barrier per superstep instead of two.
+      EXPECT_LT(pipe.stats.modeled_overhead_s, bsp.stats.modeled_overhead_s)
+          << label;
+    }
+  }
+}
+
+TEST(SyncPipeline, SsspBitIdenticalAcrossModes) {
+  const auto g = test::small_weighted_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  for (const int gpus : {1, 3, 8}) {
+    auto m_bsp = test::test_machine(gpus);
+    auto m_pipe = test::test_machine(gpus);
+    const auto bsp = prim::run_sssp(g, src, m_bsp, test::config_for(gpus));
+    const auto pipe = prim::run_sssp(g, src, m_pipe, pipeline_config(gpus));
+    const std::string label = "gpus=" + std::to_string(gpus);
+    EXPECT_EQ(bsp.dist, pipe.dist) << label;
+    EXPECT_EQ(bsp.preds, pipe.preds) << label;
+    expect_same_counters(bsp.stats, pipe.stats, label);
+  }
+}
+
+TEST(SyncPipeline, PagerankBitIdenticalAcrossModes) {
+  // PR exercises the primitive-owned chunked communicate() path (its
+  // communicate override routes acc values itself). Rank values are
+  // floating point, so exact equality here proves the combine order —
+  // and with it every FP addition order — is reproduced.
+  const auto g = test::small_rmat();
+  for (const int gpus : {1, 4, 6}) {
+    auto m_bsp = test::test_machine(gpus);
+    auto m_pipe = test::test_machine(gpus);
+    const auto bsp = prim::run_pagerank(g, m_bsp, test::config_for(gpus));
+    const auto pipe = prim::run_pagerank(g, m_pipe, pipeline_config(gpus));
+    const std::string label = "gpus=" + std::to_string(gpus);
+    EXPECT_EQ(bsp.rank, pipe.rank) << label;
+    expect_same_counters(bsp.stats, pipe.stats, label);
+  }
+}
+
+TEST(SyncPipeline, BcBitIdenticalAcrossModes) {
+  // BC pushes two tagged messages per peer per superstep (sigma
+  // partials + the finalized-level broadcast), so it exercises the
+  // conservative post-communicate handshake backfill and the
+  // per-sender tag sort in drain_from.
+  const auto g = test::small_rmat(7, 6);
+  const VertexT src = test::first_connected_vertex(g);
+  for (const int gpus : {2, 5}) {
+    auto m_bsp = test::test_machine(gpus);
+    auto m_pipe = test::test_machine(gpus);
+    const auto bsp = prim::run_bc(g, m_bsp, test::config_for(gpus), {src});
+    const auto pipe =
+        prim::run_bc(g, m_pipe, pipeline_config(gpus), {src});
+    const std::string label = "gpus=" + std::to_string(gpus);
+    EXPECT_EQ(bsp.bc, pipe.bc) << label;
+    EXPECT_EQ(bsp.total_iterations, pipe.total_iterations) << label;
+    expect_same_counters(bsp.stats, pipe.stats, label);
+  }
+}
+
+TEST(SyncPipeline, BroadcastStrategyBitIdenticalAcrossModes) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  auto m_bsp = test::test_machine(4);
+  auto m_pipe = test::test_machine(4);
+  core::Config cfg = test::config_for(4);
+  cfg.comm = core::CommStrategy::kBroadcast;
+  core::Config pcfg = cfg;
+  pcfg.sync_mode = core::SyncMode::kEventPipeline;
+  const auto bsp = prim::run_bfs(g, src, m_bsp, cfg);
+  const auto pipe = prim::run_bfs(g, src, m_pipe, pcfg);
+  EXPECT_EQ(bsp.labels, pipe.labels);
+  expect_same_counters(bsp.stats, pipe.stats, "broadcast");
+}
+
+TEST(SyncPipeline, OverheadChargesOneBarrierAndOverlapHidesComm) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  auto m_bsp = test::test_machine(4);
+  auto m_pipe = test::test_machine(4);
+  const auto bsp = prim::run_bfs(g, src, m_bsp, test::config_for(4));
+  const auto pipe = prim::run_bfs(g, src, m_pipe, pipeline_config(4));
+
+  // The two-barrier charge is the historical l(n); the pipeline keeps
+  // only the convergence barrier.
+  EXPECT_DOUBLE_EQ(vgpu::sync_overhead_seconds(4, 2),
+                   vgpu::sync_overhead_seconds(4));
+  EXPECT_DOUBLE_EQ(
+      bsp.stats.modeled_overhead_s,
+      static_cast<double>(bsp.stats.iterations) *
+          vgpu::sync_overhead_seconds(4, 2));
+  EXPECT_DOUBLE_EQ(
+      pipe.stats.modeled_overhead_s,
+      static_cast<double>(pipe.stats.iterations) *
+          vgpu::sync_overhead_seconds(4, 1));
+
+  // Per-peer chunked pushes make transfers ready mid-compute, so a
+  // multi-GPU BFS must hide a positive amount of comm under compute —
+  // never more than the comm it actually did.
+  EXPECT_GT(pipe.stats.modeled_overlap_hidden_s, 0.0);
+  EXPECT_LE(pipe.stats.modeled_overlap_hidden_s, pipe.stats.modeled_comm_s);
+  EXPECT_LT(pipe.stats.modeled_total_s(), bsp.stats.modeled_total_s());
+}
+
+TEST(SyncPipeline, IterationRecordsDecomposeInBothModes) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(4);
+  for (const core::SyncMode mode :
+       {core::SyncMode::kBspBarrier, core::SyncMode::kEventPipeline}) {
+    core::Config cfg = test::config_for(4);
+    cfg.sync_mode = mode;
+    prim::BfsProblem problem;
+    problem.init(g, machine, cfg);
+    prim::BfsEnactor enactor(problem);
+    enactor.reset(test::first_connected_vertex(g));
+    const auto stats = enactor.enact();
+    const auto records = enactor.iteration_records();
+    ASSERT_EQ(records.size(), stats.iterations) << to_string(mode);
+    double hidden_sum = 0;
+    for (const auto& r : records) {
+      EXPECT_GE(r.comm_hidden_s, 0.0) << to_string(mode);
+      EXPECT_LE(r.comm_hidden_s, r.comm_s + 1e-15) << to_string(mode);
+      EXPECT_GE(r.comm_hidden_frac, 0.0) << to_string(mode);
+      EXPECT_LE(r.comm_hidden_frac, 1.0) << to_string(mode);
+      if (mode == core::SyncMode::kBspBarrier) {
+        EXPECT_EQ(r.comm_hidden_s, 0.0);
+        EXPECT_EQ(r.comm_hidden_frac, 0.0);
+      }
+      hidden_sum += r.comm_hidden_s;
+    }
+    EXPECT_DOUBLE_EQ(hidden_sum, stats.modeled_overlap_hidden_s)
+        << to_string(mode);
+  }
+}
+
+TEST(SyncPipeline, HeterogeneousSyncScaleUsesSlowestDevice) {
+  // A barrier completes when its slowest participant arrives: with one
+  // device's sync_scale raised, the whole machine's l(n) must scale by
+  // the max across devices — not device 0's value.
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(3);
+  machine.device(2).set_sync_scale(4.0);
+  const auto result = prim::run_bfs(g, test::first_connected_vertex(g),
+                                    machine, test::config_for(3));
+  EXPECT_DOUBLE_EQ(
+      result.stats.modeled_overhead_s,
+      static_cast<double>(result.stats.iterations) *
+          vgpu::sync_overhead_seconds(3) * 4.0);
+}
+
+// A BFS whose per-GPU compute is preceded by a randomized, run-varying
+// sleep: the handshake protocol must deliver identical counters and
+// results no matter which sender publishes first.
+class JitteredBfsEnactor : public prim::BfsEnactor {
+ public:
+  JitteredBfsEnactor(prim::BfsProblem& problem, std::uint64_t seed)
+      : prim::BfsEnactor(problem), seed_(seed) {}
+
+ protected:
+  void iteration_core(Slice& s) override {
+    std::mt19937_64 rng(seed_ ^ (static_cast<std::uint64_t>(s.gpu) << 32) ^
+                        iteration());
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng() % 300));
+    prim::BfsEnactor::iteration_core(s);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+TEST(SyncPipeline, DeterministicUnderRandomizedComputeDelays) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  auto machine = test::test_machine(4);
+  const auto reference = prim::run_bfs(g, src, machine, test::config_for(4));
+
+  for (const std::uint64_t seed : {1ull, 99ull}) {
+    auto m = test::test_machine(4);
+    prim::BfsProblem problem;
+    problem.init(g, m, pipeline_config(4));
+    JitteredBfsEnactor enactor(problem, seed);
+    enactor.reset(src);
+    const auto stats = enactor.enact();
+    expect_same_counters(reference.stats, stats,
+                         "seed=" + std::to_string(seed));
+    // Check every vertex's authoritative (owner-hosted) label against
+    // the reference gather.
+    for (VertexT v = 0; v < g.num_vertices; ++v) {
+      const auto [gpu, lv] = problem.locate(v);
+      EXPECT_EQ(problem.data(gpu).labels[lv], reference.labels[v])
+          << "vertex " << v;
+    }
+  }
+}
+
+TEST(SyncPipeline, ErrorInOneWorkerSurfacesWithoutDeadlock) {
+  // Pipeline receivers block on per-sender events, not barriers; a
+  // worker that dies before publishing must not strand them. The
+  // enactor aborts the handshake table on the error path and stays
+  // usable for the next run (which re-arms the table).
+  class FaultyProblem : public core::ProblemBase {
+   protected:
+    void init_data_slice(int) override {}
+  };
+  class FaultyEnactor : public core::EnactorBase {
+   public:
+    FaultyEnactor(FaultyProblem& problem, int faulty_gpu,
+                  std::uint64_t faulty_iteration)
+        : core::EnactorBase(problem),
+          faulty_gpu_(faulty_gpu),
+          faulty_iteration_(faulty_iteration) {}
+    void disarm() { armed_ = false; }
+
+   protected:
+    void iteration_core(Slice& s) override {
+      if (armed_ && s.gpu == faulty_gpu_ &&
+          iteration() == faulty_iteration_) {
+        throw Error(Status::kInternal, "injected pipeline fault");
+      }
+      const auto input = s.frontier.input();
+      VertexT* out =
+          s.frontier.request_output(static_cast<SizeT>(input.size()));
+      for (std::size_t i = 0; i < input.size(); ++i) out[i] = input[i];
+      s.frontier.commit_output(static_cast<SizeT>(input.size()));
+    }
+    void expand_incoming(Slice& s, const core::Message& msg) override {
+      for (const VertexT v : msg.vertices) s.frontier.append_input(v);
+    }
+
+   private:
+    int faulty_gpu_;
+    std::uint64_t faulty_iteration_;
+    bool armed_ = true;
+  };
+
+  const auto g = test::small_rmat(6, 4);
+  auto machine = test::test_machine(3);
+  core::Config cfg = pipeline_config(3);
+  cfg.max_iterations = 40;
+  FaultyProblem problem;
+  problem.init(g, machine, cfg);
+  FaultyEnactor enactor(problem, /*faulty_gpu=*/1, /*faulty_iteration=*/3);
+  const VertexT seed[] = {0};
+  enactor.seed_frontier(0, seed);
+  try {
+    enactor.enact();
+    FAIL() << "expected injected fault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected pipeline fault"),
+              std::string::npos);
+  }
+
+  enactor.disarm();
+  enactor.reset_frontiers();
+  enactor.seed_frontier(0, seed);
+  const auto stats = enactor.enact();
+  EXPECT_EQ(stats.iterations, 40u);
+}
+
+TEST(SyncPipeline, StrictDrainProtocolRejectsUnreleasedBatch) {
+  // Satellite guard: in pipeline mode the combine loop must recycle
+  // each drained batch (release_drained) before the next drain; the
+  // bus turns a violation into a loud kInternal instead of silently
+  // recycling pooled buffers out from under a live combine.
+  auto machine = test::test_machine(2);
+  core::CommBus bus(machine);
+  bus.set_strict_drain(true);
+
+  auto send = [&] {
+    core::Message msg = bus.acquire();
+    msg.set_layout(0, 0, 1);
+    msg.vertices[0] = 7;
+    bus.push(0, 1, std::move(msg));
+    machine.device(0).comm_stream().synchronize();
+  };
+
+  send();
+  auto& batch = bus.drain(1);
+  ASSERT_EQ(batch.size(), 1u);
+  send();
+  try {
+    bus.drain(1);
+    FAIL() << "expected strict-drain violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternal);
+  }
+  try {
+    bus.drain_from(1, 0);
+    FAIL() << "expected strict-drain violation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternal);
+  }
+  bus.release_drained(1);
+  auto& per_sender = bus.drain_from(1, 0);
+  ASSERT_EQ(per_sender.size(), 1u);
+  EXPECT_EQ(per_sender[0].vertices[0], 7u);
+  bus.release_drained(1);
+}
+
+}  // namespace
+}  // namespace mgg
