@@ -1,6 +1,8 @@
 #include "bench_support.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
@@ -9,8 +11,18 @@
 #include "primitives/pagerank.hpp"
 #include "primitives/sssp.hpp"
 #include "util/error.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 namespace mgg::bench {
+
+namespace {
+// Armed by parse_common(--trace=PATH); the next run_primitive() call
+// attaches a tracer and writes the Chrome trace + stats JSON there,
+// then disarms — bench binaries run many configurations, and the
+// first run is the representative one to capture.
+std::string g_trace_path;
+}  // namespace
 
 VertexT pick_source(const graph::Graph& g) {
   VertexT best = 0;
@@ -63,6 +75,13 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
                       double workload_scale) {
   auto machine = vgpu::Machine::create(gpu_model, config.num_gpus);
   machine.set_workload_scale(workload_scale);
+  std::unique_ptr<vgpu::Tracer> tracer;
+  std::string trace_path;
+  if (!g_trace_path.empty()) {
+    trace_path.swap(g_trace_path);  // capture this run only
+    tracer = std::make_unique<vgpu::Tracer>();
+    machine.set_tracer(tracer.get());
+  }
   Outcome outcome;
   if (primitive == "bfs") {
     outcome.stats =
@@ -90,6 +109,12 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
   // GTEPS against the modeled full-size edge count (paper convention).
   outcome.gteps = outcome.stats.gteps(static_cast<double>(g.num_edges) *
                                       workload_scale);
+  if (tracer != nullptr) {
+    machine.synchronize();
+    tracer->write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", outcome.stats, {},
+                              tracer.get());
+  }
   return outcome;
 }
 
@@ -105,8 +130,14 @@ std::vector<std::string> suite_datasets(const std::string& suite) {
           "uk-2002",        "rmat_n20_512", "rmat_n22_128"};
 }
 
-util::Options parse_common(int argc, char** argv) {
-  return util::Options(argc, argv);
+util::Options parse_common(int argc, char** argv,
+                           std::initializer_list<std::string_view> extra) {
+  util::Options options(argc, argv);
+  std::vector<std::string_view> known = {"suite", "seed", "csv", "trace"};
+  known.insert(known.end(), extra.begin(), extra.end());
+  options.check_unknown(known);
+  g_trace_path = options.get_string("trace", "");
+  return options;
 }
 
 void emit(util::Table& table, const util::Options& options) {

@@ -4,10 +4,15 @@
 //   --suite=fast|default|full   dataset suite size (default "default")
 //   --seed=N                    generator/partitioner seed (default 1)
 //   --csv=PATH                  also write the table as CSV
+//   --trace=PATH                capture a Chrome trace of the first run
+//                               (PATH.stats.json gets the stats +
+//                               bottleneck report)
 // plus binary-specific flags documented in each main().
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -53,7 +58,11 @@ std::vector<std::string> suite_datasets(const std::string& suite);
 VertexT pick_source(const graph::Graph& g);
 
 /// Parse the common flags; returns the Options for further queries.
-util::Options parse_common(int argc, char** argv);
+/// Rejects any flag that is neither common (suite/seed/csv/trace) nor
+/// in `extra` (the binary's own flags), and arms --trace capture for
+/// the next run_primitive() call.
+util::Options parse_common(int argc, char** argv,
+                           std::initializer_list<std::string_view> extra = {});
 
 /// Print the table and honor --csv.
 void emit(util::Table& table, const util::Options& options);

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace mgg;
-  const auto options = bench::parse_common(argc, argv);
+  const auto options = bench::parse_common(argc, argv, {"max-gpus"});
   const auto suite = options.get_string("suite", "default");
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
   const int max_gpus = static_cast<int>(options.get_int("max-gpus", 6));

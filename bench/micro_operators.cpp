@@ -211,7 +211,7 @@ BfsDenseResult run_bfs_dense_check(const graph::Graph& g) {
 
 int main(int argc, char** argv) {
   using namespace mgg;
-  const auto options = bench::parse_common(argc, argv);
+  const auto options = bench::parse_common(argc, argv, {"ef", "iters", "json", "reps", "scale"});
   const int scale = static_cast<int>(options.get_int("scale", 13));
   const double ef = options.get_double("ef", 16);
   const int iters = static_cast<int>(options.get_int("iters", 50));

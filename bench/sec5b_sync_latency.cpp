@@ -69,7 +69,7 @@ bool counters_match(const mgg::vgpu::RunStats& a,
 
 int main(int argc, char** argv) {
   using namespace mgg;
-  const auto options = bench::parse_common(argc, argv);
+  const auto options = bench::parse_common(argc, argv, {"chain", "json", "max-gpus", "rmat-scale"});
   const auto chain_n =
       static_cast<VertexT>(options.get_int("chain", 4096));
   const int max_gpus = static_cast<int>(options.get_int("max-gpus", 6));

@@ -30,7 +30,7 @@
 
 int main(int argc, char** argv) {
   using namespace mgg;
-  const auto options = bench::parse_common(argc, argv);
+  const auto options = bench::parse_common(argc, argv, {"gpus"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
 

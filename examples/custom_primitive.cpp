@@ -28,6 +28,8 @@
 #include "primitives/common.hpp"
 #include "util/options.hpp"
 #include "vgpu/machine.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 namespace {
 
@@ -148,8 +150,10 @@ std::vector<ValueT> cpu_widest(const graph::Graph& g, VertexT src) {
 
 int main(int argc, char** argv) {
   util::Options options(argc, argv);
+  options.check_unknown({"gpus", "scale", "trace"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 11));
+  const std::string trace_path = options.get_string("trace", "");
 
   auto coo = graph::make_rmat(scale, 8);
   graph::assign_random_weights(coo, 1, 100);
@@ -158,6 +162,8 @@ int main(int argc, char** argv) {
               g.num_edges);
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  vgpu::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;
   config.num_gpus = gpus;
 
@@ -187,6 +193,15 @@ int main(int argc, char** argv) {
   // Show a few results.
   for (VertexT v = 1; v <= 5 && v < g.num_vertices; ++v) {
     std::printf("  width[%u] = %.0f\n", v, result[v]);
+  }
+
+  if (!trace_path.empty()) {
+    machine.synchronize();
+    tracer.write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", stats, {},
+                              &tracer);
+    std::printf("trace written to %s (+ .stats.json)\n",
+                trace_path.c_str());
   }
   return mismatches == 0 ? 0 : 1;
 }

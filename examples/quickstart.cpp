@@ -2,22 +2,30 @@
 // at the result and the run statistics.
 //
 //   ./quickstart [--gpus=4] [--scale=12] [--edge-factor=16]
+//                [--trace=out.json]
 //
 // This walks through the full public API surface in ~60 lines:
 // generator -> graph -> machine -> config -> primitive -> stats.
+// --trace captures a Chrome trace of the run (open in
+// chrome://tracing or ui.perfetto.dev) plus a stats JSON with the
+// per-superstep bottleneck report.
 #include <cstdio>
 
 #include "graph/generators.hpp"
 #include "primitives/bfs.hpp"
 #include "util/options.hpp"
 #include "vgpu/machine.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
+  options.check_unknown({"gpus", "scale", "edge-factor", "trace"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 12));
   const double edge_factor = options.get_double("edge-factor", 16);
+  const std::string trace_path = options.get_string("trace", "");
 
   // 1. Build a graph. Generators return edge lists (COO);
   //    build_undirected() cleans them (self-loops, duplicates,
@@ -30,6 +38,11 @@ int main(int argc, char** argv) {
   // 2. Create a machine: N virtual GPUs plus the PCIe interconnect.
   //    Presets: "k40", "k80", "p100".
   auto machine = vgpu::Machine::create("k40", gpus);
+
+  // Optional: attach a tracer. Tracing is observation-only — results
+  // and modeled times are identical with or without it.
+  vgpu::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
 
   // 3. Configure the run. The defaults already follow the paper
   //    (random partitioner, duplicate-all, selective communication,
@@ -62,5 +75,15 @@ int main(int argc, char** argv) {
   std::printf("modeled time on %d K40s:      %.3f ms (%.2f GTEPS)\n",
               gpus, stats.modeled_total_s() * 1e3,
               stats.gteps(g.num_edges));
+
+  // 6. Export the trace and the bottleneck-attribution report.
+  if (!trace_path.empty()) {
+    machine.synchronize();
+    tracer.write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", stats, {},
+                              &tracer);
+    std::printf("trace written to %s (+ .stats.json)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

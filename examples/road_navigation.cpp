@@ -5,6 +5,7 @@
 // dominates and mGPU can be slower than 1 GPU).
 //
 //   ./road_navigation [--gpus=2] [--width=128] [--height=128]
+//                     [--trace=out.json]
 //
 // The example runs the same route query on 1 GPU and on N GPUs and
 // prints both modeled times, making the paper's observation concrete.
@@ -15,13 +16,17 @@
 #include "primitives/sssp.hpp"
 #include "util/options.hpp"
 #include "vgpu/machine.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
+  options.check_unknown({"gpus", "width", "height", "trace"});
   const int gpus = static_cast<int>(options.get_int("gpus", 2));
   const auto width = static_cast<VertexT>(options.get_int("width", 128));
   const auto height = static_cast<VertexT>(options.get_int("height", 128));
+  const std::string trace_path = options.get_string("trace", "");
 
   const auto g = graph::build_undirected(
       graph::make_road_grid(width, height, /*drop=*/0.05));
@@ -36,7 +41,17 @@ int main(int argc, char** argv) {
   config.mark_predecessors = true;
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  vgpu::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
   const auto route = prim::run_sssp(g, origin, machine, config);
+  if (!trace_path.empty()) {
+    machine.synchronize();
+    tracer.write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", route.stats, {},
+                              &tracer);
+    std::printf("trace written to %s (+ .stats.json)\n",
+                trace_path.c_str());
+  }
 
   if (std::isinf(route.dist[destination])) {
     std::printf("destination unreachable (unlucky drop pattern)\n");

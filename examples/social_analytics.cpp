@@ -3,6 +3,7 @@
 // social graph, on multiple GPUs.
 //
 //   ./social_analytics [--gpus=4] [--vertices=20000] [--epv=12]
+//                      [--trace=out.json]
 //
 // Pipeline:
 //   1. PageRank       -> global influence ranking
@@ -18,6 +19,8 @@
 #include "primitives/pagerank.hpp"
 #include "util/options.hpp"
 #include "vgpu/machine.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 namespace {
 
@@ -40,16 +43,20 @@ void print_top(const char* title, const std::vector<mgg::ValueT>& score,
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
+  options.check_unknown({"gpus", "vertices", "epv", "trace"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto vertices =
       static_cast<VertexT>(options.get_int("vertices", 20000));
   const int epv = static_cast<int>(options.get_int("epv", 12));
+  const std::string trace_path = options.get_string("trace", "");
 
   const auto g = graph::build_undirected(graph::make_social(vertices, epv));
   std::printf("social graph: %u members, %u friendships\n", g.num_vertices,
               g.num_edges / 2);
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  vgpu::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;
   config.num_gpus = gpus;
 
@@ -84,5 +91,16 @@ int main(int argc, char** argv) {
   std::printf("  %llu BSP iterations across %zu sources\n",
               static_cast<unsigned long long>(bc.total_iterations),
               sources.size());
+
+  if (!trace_path.empty()) {
+    // One timeline for the whole pipeline: PageRank, CC, and every BC
+    // source's supersteps appear back to back.
+    machine.synchronize();
+    tracer.write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", bc.stats, {},
+                              &tracer);
+    std::printf("trace written to %s (+ .stats.json)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 // web graph, using the chunk partitioner that exploits crawl locality.
 //
 //   ./web_ranking [--gpus=4] [--hosts=400] [--pages=64]
+//                 [--trace=out.json]
 //
 // Demonstrates: the partitioner interface (chunk vs random on a graph
 // with index locality), direction-optimizing traversal from the most
@@ -15,13 +16,17 @@
 #include "primitives/pagerank.hpp"
 #include "util/options.hpp"
 #include "vgpu/machine.hpp"
+#include "vgpu/stats_io.hpp"
+#include "vgpu/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
+  options.check_unknown({"gpus", "hosts", "pages", "trace"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto hosts = static_cast<VertexT>(options.get_int("hosts", 400));
   const auto pages = static_cast<VertexT>(options.get_int("pages", 64));
+  const std::string trace_path = options.get_string("trace", "");
 
   const auto g = graph::build_undirected(
       graph::make_web(hosts, pages, /*links_per_page=*/14));
@@ -29,6 +34,8 @@ int main(int argc, char** argv) {
               hosts, pages, g.num_vertices, g.num_edges / 2);
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  vgpu::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
 
   // --- PageRank under two partitioners. Crawl vertex IDs are
   // host-clustered, so chunk partitioning keeps most links local. ---
@@ -62,5 +69,16 @@ int main(int argc, char** argv) {
               reached, 100.0 * reached / g.num_vertices,
               reach.direction_switches,
               reach.stats.modeled_total_s() * 1e3);
+
+  if (!trace_path.empty()) {
+    // All runs above share one machine, so the trace holds their
+    // supersteps back to back on one timeline.
+    machine.synchronize();
+    tracer.write_chrome_trace(trace_path);
+    vgpu::save_run_stats_json(trace_path + ".stats.json", reach.stats, {},
+                              &tracer);
+    std::printf("trace written to %s (+ .stats.json)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -47,6 +47,10 @@ echo "==> tsan: core / fault / stream-stress suites"
 TSAN_FILTER='Message.*:CommBus.*:Frontier.*:Operators.*:Problem.*'
 TSAN_FILTER+=':Enactor.*:Oom.*:FaultInjection.*:StreamStress.*'
 TSAN_FILTER+=':OperatorPipeline.*:SyncPipeline.*'
+# Tracer observation paths + the Device scale-knob race regression
+# (tracer buffers are written from stream workers and drained from the
+# barrier-completion thread).
+TSAN_FILTER+=':CostModel.*:Trace.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

@@ -75,7 +75,8 @@ void CommBus::push(int src, int dst, Message message) {
         const std::size_t items = msg.vertices.size();
         const double seconds =
             machine_->interconnect().transfer_seconds(src, dst, bytes);
-        machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s);
+        machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s,
+                                            "push", dst);
         machine_->interconnect().record_transfer(bytes);
         {
           std::lock_guard<std::mutex> lock(locks_[dst]);

@@ -64,6 +64,7 @@ EnactorBase::EnactorBase(ProblemBase& problem)
     sync_scale_ = std::max(sync_scale_, s->device->model().sync_scale);
   }
   errors_.assign(static_cast<std::size_t>(n_) + 1, nullptr);
+  harvest_.resize(static_cast<std::size_t>(n_));
 
   barrier_ = std::make_unique<std::barrier<std::function<void()>>>(
       n_, std::function<void()>([this] {
@@ -149,6 +150,7 @@ vgpu::RunStats EnactorBase::enact() {
   barrier_phase_ = 0;
   bus_->reset();
   if (pipeline_) handshakes_->reset();
+  tracer_ = problem_.machine().tracer();
   // Dense frontiers are strictly opt-in: the threshold only reaches the
   // operator contexts when the primitive declares support. Wired here
   // (not the constructor) because dense_frontier_capable() is virtual.
@@ -274,7 +276,8 @@ void EnactorBase::run_loop(int gpu) {
           expand_incoming(s, msg);
           s.combine_items += msg.vertices.size();
           // The combine kernel is communication computation (C).
-          s.device->add_kernel_cost(0, msg.vertices.size(), 1);
+          s.device->add_kernel_cost(0, msg.vertices.size(), 1, 1.0,
+                                    "combine", vgpu::TraceCategory::kCombine);
         }
       }
       // Recycle the batch now so the pooled buffers are available to
@@ -321,19 +324,41 @@ void EnactorBase::run_loop_pipeline(int gpu) {
     for (int src = 0; src < n_; ++src) {
       if (src == s.gpu) continue;
       try {
+        // Trace the wait as a zero-width marker at the current modeled
+        // compute position (the model prices waits via the superstep
+        // critical path, not per event); wall_s captures the host-side
+        // stall for diagnosis.
+        const bool traced = tracer_ != nullptr;
+        const double wait_pos =
+            traced ? s.device->modeled_compute_time() : 0.0;
+        util::WallTimer wait_timer;
         vgpu::Event ready = handshakes_->take(src, s.gpu, s.superstep);
         // cudaStreamWaitEvent analog: queue the wait on our compute
         // stream, then join it from the host — the combine below is
         // ordered behind the sender's last push to us.
         s.device->compute_stream().wait_event(std::move(ready));
         s.device->compute_stream().synchronize();
+        if (traced) {
+          vgpu::TraceSpan span;
+          span.name = "handshake_wait";
+          span.category = vgpu::TraceCategory::kWait;
+          span.gpu = static_cast<std::int16_t>(s.gpu);
+          span.track = 0;
+          span.peer = src;
+          span.start_s = wait_pos;
+          span.end_s = wait_pos;
+          span.wall_s = wait_timer.seconds();
+          tracer_->record(span);
+        }
         auto& messages = bus_->drain_from(s.gpu, src);
         if (!has_error()) {
           for (const Message& msg : messages) {
             expand_incoming(s, msg);
             s.combine_items += msg.vertices.size();
             // The combine kernel is communication computation (C).
-            s.device->add_kernel_cost(0, msg.vertices.size(), 1);
+            s.device->add_kernel_cost(0, msg.vertices.size(), 1, 1.0,
+                                      "combine",
+                                      vgpu::TraceCategory::kCombine);
           }
         }
         // Recycle before the next sender's drain (strict protocol).
@@ -411,7 +436,8 @@ void EnactorBase::close_iteration_body() {
   double max_critical = 0;
   double sum_compute = 0;
   for (auto& s : slices_) {
-    const vgpu::IterationCounters c = s->device->harvest_iteration();
+    const vgpu::IterationCounters c = harvest_[s->gpu] =
+        s->device->harvest_iteration();
     run_stats_.total_edges += c.edges;
     run_stats_.total_vertices += c.vertices;
     run_stats_.total_launches += c.launches;
@@ -448,6 +474,13 @@ void EnactorBase::close_iteration_body() {
   const double overhead =
       vgpu::sync_overhead_seconds(n_, pipeline_ ? 1 : 2) * sync_scale_;
   run_stats_.modeled_overhead_s += overhead;
+  if (tracer_ != nullptr) {
+    // Safe here: this runs exclusively in the barrier completion, after
+    // every worker synchronized its comm stream — all of this
+    // superstep's spans are recorded, none of the next one's.
+    tracer_->close_superstep(iteration_, harvest_, overhead, hidden,
+                             pipeline_);
+  }
   ++run_stats_.iterations;
   ++iteration_;
 
@@ -546,7 +579,7 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
         // The single packaging pass produced every peer's payload, so
         // the whole charge lands before the first push: each transfer
         // becomes ready the moment packaging finished.
-        s.device->add_kernel_cost(0, out_items, 1);
+        s.device->add_kernel_cost(0, out_items, 1, 1.0, "split_package");
         chunk_vertices = out_items;
         chunk_launches = 1;
       }
@@ -580,7 +613,8 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
       if (pipeline_) {
         // This peer's slice of the packaging kernel: its transfer may
         // start once this chunk is done, not after the whole pass.
-        s.device->add_kernel_cost(0, sources.size(), 0);
+        s.device->add_kernel_cost(0, sources.size(), 0, 1.0,
+                                  "split_package");
         chunk_vertices += sources.size();
       }
       Message message = bus_->acquire();
@@ -607,9 +641,9 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
   // compaction share, plus the launch unless broadcast charged it).
   if (pipeline_) {
     s.device->add_kernel_cost(0, out_items - chunk_vertices,
-                              1 - chunk_launches);
+                              1 - chunk_launches, 1.0, "split_package");
   } else {
-    s.device->add_kernel_cost(0, out_items, 1);
+    s.device->add_kernel_cost(0, out_items, 1, 1.0, "split_package");
   }
   frontier.swap();
 }

@@ -296,6 +296,11 @@ class EnactorBase {
   std::uint64_t iteration_ = 0;
   vgpu::RunStats run_stats_;
   std::vector<vgpu::IterationRecord> iteration_records_;
+  /// Machine's tracer, fetched once per enact() (null = disabled).
+  vgpu::Tracer* tracer_ = nullptr;
+  /// close_iteration scratch: the superstep's per-GPU harvested
+  /// counters, kept so the tracer sees the per-GPU breakdown.
+  std::vector<vgpu::IterationCounters> harvest_;
 };
 
 }  // namespace mgg::core

@@ -158,7 +158,8 @@ SizeT advance_filter_dense(OpContext& ctx, EdgeOp& op) {
   });
   frontier.commit_output(produced);
   ctx.device->add_kernel_cost(work, frontier.input_size(), 1,
-                              advance_imbalance_dense(ctx));
+                              advance_imbalance_dense(ctx),
+                              "advance_dense");
   return produced;
 }
 
@@ -192,7 +193,8 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
     const SizeT items = frontier.input_size();
     const bool converted =
         want_dense ? frontier.input_to_dense() : frontier.input_to_sparse();
-    if (converted) ctx.device->add_kernel_cost(0, items, 1);
+    if (converted)
+      ctx.device->add_kernel_cost(0, items, 1, 1.0, "frontier_convert");
   }
   frontier.note_advance_mode(frontier.input_dense());
   if (frontier.input_dense()) {
@@ -221,7 +223,8 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
     for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
     frontier.commit_output(produced);
     ctx.device->add_kernel_cost(work, input.size(), 1,
-                                detail::advance_imbalance(ctx, input));
+                                detail::advance_imbalance(ctx, input),
+                                "advance_filter");
     return produced;
   }
 
@@ -242,7 +245,8 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
     }
   }
   ctx.device->add_kernel_cost(work, input.size(), 1,
-                              detail::advance_imbalance(ctx, input));
+                              detail::advance_imbalance(ctx, input),
+                              "advance");
 
   // ...then filter applies the functor and compacts survivors.
   const SizeT bound = std::min<SizeT>(n_raw, g.num_vertices);
@@ -258,7 +262,7 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
   }
   for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
   frontier.commit_output(produced);
-  ctx.device->add_kernel_cost(0, n_raw, 1);
+  ctx.device->add_kernel_cost(0, n_raw, 1, 1.0, "filter_compact");
   return produced;
 }
 
@@ -287,7 +291,8 @@ SizeT advance_pull(OpContext& ctx, std::span<const VertexT> candidates,
     }
   }
   frontier.commit_output(produced);
-  ctx.device->add_kernel_cost(scanned, candidates.size(), 1);
+  ctx.device->add_kernel_cost(scanned, candidates.size(), 1, 1.0,
+                              "advance_pull");
   return produced;
 }
 
@@ -303,7 +308,7 @@ SizeT filter(OpContext& ctx, Pred&& pred) {
     if (pred(v)) out[produced++] = v;
   }
   frontier.commit_output(produced);
-  ctx.device->add_kernel_cost(0, input.size(), 1);
+  ctx.device->add_kernel_cost(0, input.size(), 1, 1.0, "filter");
   return produced;
 }
 
@@ -313,7 +318,7 @@ template <typename VertexOp>
 void compute(OpContext& ctx, std::span<const VertexT> vertices,
              VertexOp&& op) {
   for (const VertexT v : vertices) op(v);
-  ctx.device->add_kernel_cost(0, vertices.size(), 1);
+  ctx.device->add_kernel_cost(0, vertices.size(), 1, 1.0, "compute");
 }
 
 }  // namespace mgg::core

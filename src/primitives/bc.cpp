@@ -88,7 +88,7 @@ void BcEnactor::core_forward(Slice& s) {
   auto& lvl = d.levels[level];
   lvl.assign(input.begin(), input.end());
   for (const VertexT v : lvl) d.sigma[v] = d.sigma_acc[v];
-  s.device->add_kernel_cost(0, input.size(), 1);
+  s.device->add_kernel_cost(0, input.size(), 1, 1.0, "bc_level");
 
   core::advance_filter(s.ctx, [&](VertexT u, VertexT v, SizeT) {
     if (d.depth[v] == kInvalidVertex) {
@@ -124,7 +124,8 @@ void BcEnactor::core_backward(Slice& s) {
       edge_work += end - begin;
     }
     s.device->add_kernel_cost(
-        edge_work, lvl < d.levels.size() ? d.levels[lvl].size() : 0, 1);
+        edge_work, lvl < d.levels.size() ? d.levels[lvl].size() : 0, 1, 1.0,
+        "bc_backward");
   }
   s.frontier.request_output(0);
   s.frontier.commit_output(0);
@@ -198,7 +199,7 @@ void BcEnactor::communicate_forward(Slice& s) {
     }
   }
 
-  s.device->add_kernel_cost(0, out_items, 1);
+  s.device->add_kernel_cost(0, out_items, 1, 1.0, "bc_package");
   frontier.swap();
 }
 
@@ -227,7 +228,7 @@ void BcEnactor::communicate_backward(Slice& s) {
     }
     bus().push(s.gpu, peer, std::move(msg));
   }
-  s.device->add_kernel_cost(0, d.border.size(), 1);
+  s.device->add_kernel_cost(0, d.border.size(), 1, 1.0, "bc_package");
   s.frontier.swap();
 }
 

@@ -125,7 +125,7 @@ void DobfsEnactor::core_backward(Slice& s) {
       }
     }
     d.num_unvisited = count;
-    s.device->add_kernel_cost(0, sub.num_total(), 1);
+    s.device->add_kernel_cost(0, sub.num_total(), 1, 1.0, "dobfs_rebuild");
   }
 
   const std::span<const VertexT> candidates{
@@ -146,7 +146,7 @@ void DobfsEnactor::core_backward(Slice& s) {
     const VertexT v = d.unvisited[i];
     if (d.labels[v] == kInvalidVertex) d.unvisited[keep++] = v;
   }
-  s.device->add_kernel_cost(0, d.num_unvisited, 1);
+  s.device->add_kernel_cost(0, d.num_unvisited, 1, 1.0, "dobfs_compact");
   d.num_unvisited = keep;
 }
 

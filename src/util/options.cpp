@@ -57,6 +57,26 @@ double Options::get_double(const std::string& key, double fallback) const {
   return v;
 }
 
+void Options::check_unknown(std::span<const std::string_view> known) const {
+  std::string bad;
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const auto k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (!bad.empty()) bad += ", ";
+      bad += "--" + key;
+    }
+  }
+  MGG_REQUIRE(bad.empty(), "unknown option " + bad +
+                               " (check spelling; run with no arguments "
+                               "for defaults)");
+}
+
 bool Options::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

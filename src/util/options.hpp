@@ -4,8 +4,11 @@
 // Unknown positional arguments are collected in order.
 #pragma once
 
+#include <initializer_list>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mgg::util {
@@ -26,6 +29,16 @@ class Options {
 
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
+  }
+
+  /// Throw kInvalidArgument if any parsed `--key` is not in `known`,
+  /// naming the offending flag(s) — so `--parition=metis` fails loudly
+  /// instead of silently running the default. Call after every key the
+  /// program understands is listed.
+  void check_unknown(std::span<const std::string_view> known) const;
+  void check_unknown(std::initializer_list<std::string_view> known) const {
+    check_unknown(std::span<const std::string_view>(known.begin(),
+                                                    known.size()));
   }
 
  private:

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "vgpu/gpu_model.hpp"
 #include "vgpu/memory.hpp"
 #include "vgpu/stream.hpp"
+#include "vgpu/trace.hpp"
 
 namespace mgg::vgpu {
 
@@ -42,20 +44,44 @@ class Device {
   /// mapping's kernel finishes when its most loaded worker does, so
   /// modeled edge time stretches by that factor while the raw work
   /// counters stay truthful. Thread safe (called from stream workers).
+  /// `trace_name`/`trace_cat` label the span when a Tracer is attached
+  /// (static-lifetime string; no effect on the accounting).
   void add_kernel_cost(std::uint64_t edges, std::uint64_t vertices,
-                       std::uint64_t launches = 1,
-                       double imbalance = 1.0) {
+                       std::uint64_t launches = 1, double imbalance = 1.0,
+                       const char* trace_name = nullptr,
+                       TraceCategory trace_cat = TraceCategory::kKernel) {
+    // The scale knobs are retuned from control threads (Table V /
+    // workload-scale) while stream workers record costs, so they are
+    // atomics; the cost arithmetic stays outside the counter mutex to
+    // keep this hot path short.
+    const double workload_scale =
+        workload_scale_.load(std::memory_order_relaxed);
     // Effective (full-size-modeled) edge work, plus the occupancy-ramp
     // term — see GpuModel::ramp_items.
-    const double we = static_cast<double>(edges) * workload_scale_ *
-                      id_scale_ * std::max(imbalance, 1.0);
+    const double we = static_cast<double>(edges) * workload_scale *
+                      id_scale_.load(std::memory_order_relaxed) *
+                      std::max(imbalance, 1.0);
     const double ramp = we > 0 ? std::sqrt(we * model_.ramp_items) : 0.0;
     const double seconds =
         (we + ramp) / model_.edge_rate +
         static_cast<double>(vertices) / model_.vertex_rate *
-            workload_scale_ +
+            workload_scale +
         static_cast<double>(launches) * model_.launch_overhead_s;
     std::lock_guard<std::mutex> lock(mutex_);
+    if (tracer_ != nullptr) {
+      // Observation only: the span reads the timeline position the
+      // counters already define; nothing feeds back into the model.
+      TraceSpan span;
+      span.name = trace_name != nullptr ? trace_name : "kernel";
+      span.category = trace_cat;
+      span.gpu = static_cast<std::int16_t>(id_);
+      span.track = 0;
+      span.start_s = counters_.compute_s;
+      span.end_s = counters_.compute_s + seconds;
+      span.edges = edges;
+      span.vertices = vertices;
+      tracer_->record(span);
+    }
     counters_.compute_s += seconds;
     counters_.edges += edges;
     counters_.vertices += vertices;
@@ -71,11 +97,26 @@ class Device {
   /// with compute rather than after it. Callers that model a serial
   /// schedule can leave ready_s at 0 (tail then equals the busy sum).
   void add_comm_cost(double seconds, std::uint64_t bytes,
-                     std::uint64_t items, double ready_s = 0.0) {
+                     std::uint64_t items, double ready_s = 0.0,
+                     const char* trace_name = nullptr, int peer = -1) {
+    const double scaled =
+        seconds * id_scale_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
-    const double scaled = seconds * id_scale_;
-    counters_.comm_tail_s =
-        std::max(counters_.comm_tail_s, ready_s) + scaled;
+    const double start = std::max(counters_.comm_tail_s, ready_s);
+    if (tracer_ != nullptr) {
+      TraceSpan span;
+      span.name = trace_name != nullptr ? trace_name : "transfer";
+      span.category = TraceCategory::kTransfer;
+      span.gpu = static_cast<std::int16_t>(id_);
+      span.track = 1;
+      span.peer = peer;
+      span.start_s = start;
+      span.end_s = start + scaled;
+      span.bytes = bytes;
+      span.items = items;
+      tracer_->record(span);
+    }
+    counters_.comm_tail_s = start + scaled;
     counters_.comm_s += scaled;
     counters_.bytes_out += bytes;
     counters_.items_out += items;
@@ -99,8 +140,11 @@ class Device {
     return out;
   }
 
-  /// Table V knob: scale traffic-bound costs for wider IDs.
-  void set_id_scale(double scale) { id_scale_ = scale; }
+  /// Table V knob: scale traffic-bound costs for wider IDs. Atomic:
+  /// stream workers read it while recording costs.
+  void set_id_scale(double scale) {
+    id_scale_.store(scale, std::memory_order_relaxed);
+  }
 
   /// Heterogeneity knob (tests / what-if modeling): override this
   /// device's barrier-cost multiplier. The enactor charges l(n) scaled
@@ -111,8 +155,25 @@ class Device {
   /// Workload-scale knob (see Machine::set_workload_scale): per-item
   /// compute time is multiplied so a 1/k-scale analog graph models the
   /// full-size dataset's W while launch/sync overheads stay fixed.
-  void set_workload_scale(double scale) { workload_scale_ = scale; }
-  double workload_scale() const noexcept { return workload_scale_; }
+  /// Atomic like set_id_scale.
+  void set_workload_scale(double scale) {
+    workload_scale_.store(scale, std::memory_order_relaxed);
+  }
+  double workload_scale() const noexcept {
+    return workload_scale_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach (or detach, with nullptr) a tracer. Every kernel and
+  /// transfer cost recorded while attached also records a TraceSpan.
+  /// Attach while the device is idle (no in-flight stream work).
+  void set_tracer(Tracer* tracer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracer_ = tracer;
+  }
+  Tracer* tracer() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tracer_;
+  }
 
   /// Wait for both streams to drain.
   void synchronize() {
@@ -128,8 +189,9 @@ class Device {
   Stream comm_stream_;
   mutable std::mutex mutex_;
   IterationCounters counters_;
-  double id_scale_ = 1.0;
-  double workload_scale_ = 1.0;
+  std::atomic<double> id_scale_{1.0};
+  std::atomic<double> workload_scale_{1.0};
+  Tracer* tracer_ = nullptr;  ///< observation-only; null = disabled
 };
 
 }  // namespace mgg::vgpu

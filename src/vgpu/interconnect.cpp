@@ -1,8 +1,24 @@
 #include "vgpu/interconnect.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace mgg::vgpu {
+
+namespace {
+void validate_link(const LinkParams& params, const char* which) {
+  // transfer_seconds divides by bandwidth and adds latency; a zero,
+  // negative, or non-finite parameter would silently turn every
+  // modeled transfer into inf/NaN and poison H downstream.
+  MGG_REQUIRE(std::isfinite(params.bandwidth) && params.bandwidth > 0,
+              std::string(which) + " link bandwidth must be positive and "
+                                   "finite");
+  MGG_REQUIRE(std::isfinite(params.latency) && params.latency >= 0,
+              std::string(which) +
+                  " link latency must be non-negative and finite");
+}
+}  // namespace
 
 Interconnect::Interconnect(int num_devices, int peer_group_size,
                            LinkParams peer, LinkParams cross, int node_size,
@@ -16,6 +32,9 @@ Interconnect::Interconnect(int num_devices, int peer_group_size,
   MGG_REQUIRE(num_devices >= 1, "interconnect needs at least one device");
   MGG_REQUIRE(peer_group_size >= 1, "peer group size must be positive");
   MGG_REQUIRE(node_size >= 0, "node size must be non-negative");
+  validate_link(peer_, "peer");
+  validate_link(cross_, "cross");
+  validate_link(internode_, "internode");
 }
 
 bool Interconnect::same_node(int src, int dst) const {

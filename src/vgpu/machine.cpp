@@ -47,6 +47,11 @@ void Machine::set_workload_scale(double scale) {
   interconnect_.set_volume_multiplier(scale);
 }
 
+void Machine::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& device : devices_) device->set_tracer(tracer);
+}
+
 void Machine::synchronize() {
   for (auto& device : devices_) device->synchronize();
 }

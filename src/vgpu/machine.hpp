@@ -49,6 +49,12 @@ class Machine {
   /// bench harness sets scale = paper |E| / analog |E|.
   void set_workload_scale(double scale);
 
+  /// Attach `tracer` to every device (nullptr detaches). The enactor
+  /// picks it up from here to record superstep boundaries and waits.
+  /// Attach before enacting, while the machine is idle.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const noexcept { return tracer_; }
+
   /// Block until every device's streams drain.
   void synchronize();
 
@@ -56,6 +62,7 @@ class Machine {
   GpuModel model_;
   std::vector<std::unique_ptr<Device>> devices_;
   Interconnect interconnect_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mgg::vgpu

@@ -20,7 +20,10 @@ MemoryManager::MemoryManager(std::size_t capacity_bytes)
 void* MemoryManager::allocate(std::size_t bytes, std::string_view name) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (current_ + bytes > capacity_) {
+    // Written as a subtraction so an overflowed upstream size (e.g. a
+    // wrapped n * sizeof(T)) cannot wrap current_ + bytes past
+    // capacity_ and sneak through. current_ <= capacity_ is invariant.
+    if (bytes > capacity_ - current_) {
       throw Error(Status::kOutOfMemory,
                   "device memory exhausted allocating " +
                       std::to_string(bytes) + " B for '" + std::string(name) +
@@ -35,14 +38,34 @@ void* MemoryManager::allocate(std::size_t bytes, std::string_view name) {
     auto& named_peak = peak_by_name_[std::string(name)];
     named_peak = std::max(named_peak, named);
   }
-  return ::operator new(bytes);
+  try {
+    return ::operator new(bytes);
+  } catch (...) {
+    // Host allocation failed after the device-side accounting went
+    // through: roll the accounting back so the failure doesn't leak
+    // charged bytes. peak_/peak_by_name_ may keep the transient high
+    // water mark; they are monotone statistics, not live usage.
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ -= bytes;
+    --alloc_count_;
+    current_by_name_[std::string(name)] -= bytes;
+    throw;
+  }
 }
 
 void MemoryManager::deallocate(void* ptr, std::size_t bytes) noexcept {
   if (ptr == nullptr) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    if (bytes > current_) {
+      // More bytes returned than accounted: a double free or a size
+      // mismatch upstream. Clamp (this call is noexcept) but count the
+      // event so tests can assert it never happens.
+      ++underflow_count_;
+      current_ = 0;
+    } else {
+      current_ -= bytes;
+    }
     // Per-name current counters can only be decremented approximately:
     // Array1D frees carry size but not name. The peak map is the useful
     // statistic and is monotone, so this is fine.
@@ -52,7 +75,8 @@ void MemoryManager::deallocate(void* ptr, std::size_t bytes) noexcept {
 
 void MemoryManager::charge(std::size_t bytes, std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (current_ + bytes > capacity_) {
+  // Overflow-proof form; see allocate().
+  if (bytes > capacity_ - current_) {
     throw Error(Status::kOutOfMemory,
                 "device memory exhausted charging " + std::to_string(bytes) +
                     " B for '" + std::string(name) + "' (in use " +
@@ -69,7 +93,12 @@ void MemoryManager::charge(std::size_t bytes, std::string_view name) {
 
 void MemoryManager::uncharge(std::size_t bytes) noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
-  current_ = bytes > current_ ? 0 : current_ - bytes;
+  if (bytes > current_) {
+    ++underflow_count_;
+    current_ = 0;
+  } else {
+    current_ -= bytes;
+  }
 }
 
 std::size_t MemoryManager::current_bytes() const {
@@ -92,11 +121,17 @@ std::map<std::string, std::size_t> MemoryManager::peak_by_name() const {
   return peak_by_name_;
 }
 
+std::size_t MemoryManager::underflow_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return underflow_count_;
+}
+
 void MemoryManager::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   peak_ = current_;
   peak_by_name_ = current_by_name_;
   alloc_count_ = 0;
+  underflow_count_ = 0;
 }
 
 }  // namespace mgg::vgpu

@@ -52,6 +52,12 @@ class MemoryManager final : public util::DeviceAllocator {
   void charge(std::size_t bytes, std::string_view name);
   void uncharge(std::size_t bytes) noexcept;
 
+  /// Times deallocate()/uncharge() was handed more bytes than were
+  /// accounted — a double free or a mismatched charge/uncharge pair.
+  /// The counters clamp to 0 (the call is noexcept) but the event is
+  /// recorded here so tests can assert it never happens.
+  std::size_t underflow_count() const;
+
   /// Forget peak statistics (current usage is unaffected).
   void reset_stats();
 
@@ -61,6 +67,7 @@ class MemoryManager final : public util::DeviceAllocator {
   std::size_t current_ = 0;
   std::size_t peak_ = 0;
   std::size_t alloc_count_ = 0;
+  std::size_t underflow_count_ = 0;
   std::map<std::string, std::size_t> current_by_name_;
   std::map<std::string, std::size_t> peak_by_name_;
 };

@@ -8,7 +8,8 @@
 namespace mgg::vgpu {
 
 std::string run_stats_to_json(const RunStats& stats,
-                              std::span<const IterationRecord> records) {
+                              std::span<const IterationRecord> records,
+                              const Tracer* tracer, std::size_t top_k) {
   util::JsonWriter w;
   w.begin_object();
   w.key("iterations").value(
@@ -54,13 +55,51 @@ std::string run_stats_to_json(const RunStats& stats,
     }
     w.end_array();
   }
+  if (tracer != nullptr) {
+    w.key("bottlenecks").begin_array();
+    for (const auto& a : tracer->attribution(top_k)) {
+      w.begin_object();
+      w.key("superstep").value(static_cast<unsigned long long>(a.index));
+      w.key("iteration").value(static_cast<unsigned long long>(a.iteration));
+      w.key("critical_gpu").value(static_cast<long long>(a.critical_gpu));
+      w.key("compute_s").value(a.compute_s);
+      w.key("exposed_comm_s").value(a.exposed_comm_s);
+      w.key("sync_s").value(a.sync_s);
+      w.key("total_s").value(a.total_s);
+      w.key("top_spans").begin_array();
+      for (const auto& s : a.top) {
+        w.begin_object();
+        w.key("name").value(s.name);
+        w.key("category").value(to_string(s.category));
+        w.key("gpu").value(static_cast<long long>(s.gpu));
+        w.key("track").value(static_cast<long long>(s.track));
+        w.key("seconds").value(s.end_s - s.start_s);
+        if (s.edges > 0)
+          w.key("edges").value(static_cast<unsigned long long>(s.edges));
+        if (s.vertices > 0)
+          w.key("vertices").value(
+              static_cast<unsigned long long>(s.vertices));
+        if (s.bytes > 0)
+          w.key("bytes").value(static_cast<unsigned long long>(s.bytes));
+        if (s.items > 0)
+          w.key("items").value(static_cast<unsigned long long>(s.items));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("trace_dropped_spans")
+        .value(static_cast<unsigned long long>(tracer->dropped_spans()));
+  }
   w.end_object();
   return w.str();
 }
 
 void save_run_stats_json(const std::string& path, const RunStats& stats,
-                         std::span<const IterationRecord> records) {
-  const std::string json = run_stats_to_json(stats, records);
+                         std::span<const IterationRecord> records,
+                         const Tracer* tracer, std::size_t top_k) {
+  const std::string json = run_stats_to_json(stats, records, tracer, top_k);
   std::ofstream out(path);
   MGG_CHECK(out.good(), Status::kIoError, "cannot open " + path);
   out << json;

@@ -5,16 +5,24 @@
 #include <string>
 
 #include "vgpu/cost.hpp"
+#include "vgpu/trace.hpp"
 
 namespace mgg::vgpu {
 
 /// Serialize a run's stats (and optionally its per-iteration records)
-/// to a JSON object string.
+/// to a JSON object string. When `tracer` is non-null, a "bottlenecks"
+/// array is appended: one entry per superstep with the critical-path
+/// GPU, the compute / exposed-comm / sync split, and the `top_k`
+/// widest spans (see Tracer::attribution()).
 std::string run_stats_to_json(const RunStats& stats,
-                              std::span<const IterationRecord> records = {});
+                              std::span<const IterationRecord> records = {},
+                              const Tracer* tracer = nullptr,
+                              std::size_t top_k = 3);
 
 /// Convenience: write run_stats_to_json() to `path`.
 void save_run_stats_json(const std::string& path, const RunStats& stats,
-                         std::span<const IterationRecord> records = {});
+                         std::span<const IterationRecord> records = {},
+                         const Tracer* tracer = nullptr,
+                         std::size_t top_k = 3);
 
 }  // namespace mgg::vgpu

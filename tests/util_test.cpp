@@ -205,6 +205,40 @@ TEST(Options, RejectsMalformedNumbers) {
   EXPECT_THROW(o.get_int("n", 0), Error);
 }
 
+TEST(Options, CheckUnknownAcceptsKnownKeys) {
+  const char* argv[] = {"prog", "--gpus=4", "--seed", "9", "positional"};
+  util::Options o(5, const_cast<char**>(argv));
+  EXPECT_NO_THROW(o.check_unknown({"gpus", "seed", "csv"}));
+}
+
+TEST(Options, CheckUnknownRejectsMisspelledKey) {
+  // The motivating bug: --parition=metis silently ran the default
+  // partitioner. It must fail loudly and name the bad key.
+  const char* argv[] = {"prog", "--parition=metis", "--gpus=4"};
+  util::Options o(3, const_cast<char**>(argv));
+  try {
+    o.check_unknown({"partition", "gpus"});
+    FAIL() << "check_unknown accepted a misspelled key";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--parition"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Options, CheckUnknownListsEveryUnknownKey) {
+  const char* argv[] = {"prog", "--bad1=1", "--good=2", "--bad2", "3"};
+  util::Options o(5, const_cast<char**>(argv));
+  try {
+    o.check_unknown({"good"});
+    FAIL() << "check_unknown accepted unknown keys";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--bad1"), std::string::npos) << what;
+    EXPECT_NE(what.find("--bad2"), std::string::npos) << what;
+    EXPECT_EQ(what.find("--good"), std::string::npos) << what;
+  }
+}
+
 TEST(SplitMix, KnownAvalanche) {
   // Different inputs produce well-spread outputs.
   std::set<std::uint64_t> seen;

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
+#include <new>
 #include <thread>
+#include <vector>
 
 #include "util/array1d.hpp"
 #include "vgpu/cost.hpp"
@@ -221,6 +224,101 @@ TEST(Machine, PresetsAndModels) {
 TEST(Machine, DeviceMemoryCapacityMatchesModel) {
   auto m = vgpu::Machine::create("k40", 1);
   EXPECT_EQ(m.device(0).memory().capacity_bytes(), 12ull << 30);
+}
+
+// ---------------------------------------------------------------------
+// Accounting/validation regression tests (ISSUE 4 bugfix sweep).
+// ---------------------------------------------------------------------
+
+TEST(MemoryManager, HugeRequestFailsWithoutOverflow) {
+  vgpu::MemoryManager mem(1024);
+  void* a = mem.allocate(512, "half");
+  // current_ + bytes would wrap std::size_t; the capacity check must
+  // still classify this as out-of-memory, not wave it through.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() - 100;
+  EXPECT_THROW(mem.allocate(huge, "wrap"), Error);
+  EXPECT_THROW(mem.charge(huge, "wrap"), Error);
+  try {
+    mem.charge(huge, "wrap");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kOutOfMemory);
+  }
+  EXPECT_EQ(mem.current_bytes(), 512u);
+  mem.deallocate(a, 512);
+}
+
+TEST(MemoryManager, HostAllocationFailureRollsBackAccounting) {
+  // Capacity admits the request, but the host has no exbibyte to give:
+  // operator new throws and the accounting must roll back.
+  vgpu::MemoryManager mem(std::numeric_limits<std::size_t>::max());
+  EXPECT_THROW(mem.allocate(std::size_t{1} << 60, "absurd"),
+               std::bad_alloc);
+  EXPECT_EQ(mem.current_bytes(), 0u);
+  EXPECT_EQ(mem.allocation_count(), 0u);
+  // The manager stays usable afterwards.
+  void* p = mem.allocate(64, "ok");
+  EXPECT_EQ(mem.current_bytes(), 64u);
+  mem.deallocate(p, 64);
+}
+
+TEST(MemoryManager, UnderflowClampsAndCounts) {
+  vgpu::MemoryManager mem(1 << 20);
+  mem.charge(100, "c");
+  mem.uncharge(200);  // more than was charged
+  EXPECT_EQ(mem.current_bytes(), 0u);
+  EXPECT_EQ(mem.underflow_count(), 1u);
+  void* p = mem.allocate(50, "a");
+  mem.deallocate(p, 80);  // mismatched size
+  EXPECT_EQ(mem.current_bytes(), 0u);
+  EXPECT_EQ(mem.underflow_count(), 2u);
+  mem.reset_stats();
+  EXPECT_EQ(mem.underflow_count(), 0u);
+}
+
+TEST(Interconnect, RejectsInvalidLinkParams) {
+  vgpu::LinkParams bad_bw;
+  bad_bw.bandwidth = 0;
+  EXPECT_THROW(vgpu::Interconnect(4, 4, bad_bw), Error);
+  bad_bw.bandwidth = -5e9;
+  EXPECT_THROW(vgpu::Interconnect(4, 4, bad_bw), Error);
+  bad_bw.bandwidth = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(vgpu::Interconnect(4, 4, bad_bw), Error);
+
+  vgpu::LinkParams bad_lat;
+  bad_lat.latency = -1e-6;
+  EXPECT_THROW(
+      vgpu::Interconnect(4, 4, vgpu::LinkParams::pcie_peer(), bad_lat),
+      Error);
+}
+
+// The scale knobs are retuned from control threads while stream
+// workers record kernel costs; both must go through Device's mutex.
+// (Run under TSan by scripts/check.sh.)
+TEST(CostModel, ConcurrentScaleUpdatesDoNotRace) {
+  auto m = vgpu::Machine::create("k40", 1);
+  auto& device = m.device(0);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      device.set_workload_scale(1.0 + 0.001 * (i % 7));
+      device.set_id_scale(1.0 + 0.5 * (i % 2));
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        device.add_kernel_cost(100, 10);
+        device.add_comm_cost(1e-6, 400, 100);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  tuner.join();
+  const auto counters = device.harvest_iteration();
+  EXPECT_EQ(counters.edges, 100u * 2000u * 4u);
+  EXPECT_GT(counters.compute_s, 0.0);
 }
 
 }  // namespace
