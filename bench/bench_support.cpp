@@ -1,6 +1,8 @@
 #include "bench_support.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "primitives/pagerank.hpp"
 #include "primitives/sssp.hpp"
 #include "util/error.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/stats_io.hpp"
 #include "vgpu/trace.hpp"
 
@@ -22,6 +25,11 @@ namespace {
 // then disarms — bench binaries run many configurations, and the
 // first run is the representative one to capture.
 std::string g_trace_path;
+// Armed by parse_common(--fault-plan=SPEC / --fault-seed=N): every
+// run_primitive() call runs under the resulting deterministic fault
+// plan. The armed plan is printed once so a red run names its seed.
+std::string g_fault_plan;
+std::uint64_t g_fault_seed = 0;
 }  // namespace
 
 VertexT pick_source(const graph::Graph& g) {
@@ -82,6 +90,9 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
     tracer = std::make_unique<vgpu::Tracer>();
     machine.set_tracer(tracer.get());
   }
+  const auto injector = vgpu::make_injector_from_flags(
+      g_fault_plan, g_fault_seed, config.num_gpus);
+  if (injector != nullptr) machine.set_fault_injector(injector.get());
   Outcome outcome;
   if (primitive == "bfs") {
     outcome.stats =
@@ -133,10 +144,19 @@ std::vector<std::string> suite_datasets(const std::string& suite) {
 util::Options parse_common(int argc, char** argv,
                            std::initializer_list<std::string_view> extra) {
   util::Options options(argc, argv);
-  std::vector<std::string_view> known = {"suite", "seed", "csv", "trace"};
+  std::vector<std::string_view> known = {"suite", "seed", "csv", "trace",
+                                         "fault-plan", "fault-seed"};
   known.insert(known.end(), extra.begin(), extra.end());
   options.check_unknown(known);
   g_trace_path = options.get_string("trace", "");
+  g_fault_plan = options.get_string("fault-plan", "");
+  g_fault_seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
+  if (!g_fault_plan.empty() || g_fault_seed != 0) {
+    std::fprintf(stderr, "[fault] injection armed: %s\n",
+                 g_fault_plan.empty()
+                     ? ("seed " + std::to_string(g_fault_seed)).c_str()
+                     : g_fault_plan.c_str());
+  }
   return options;
 }
 

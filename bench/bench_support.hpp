@@ -7,6 +7,9 @@
 //   --trace=PATH                capture a Chrome trace of the first run
 //                               (PATH.stats.json gets the stats +
 //                               bottleneck report)
+//   --fault-plan=SPEC           run under a deterministic fault plan
+//                               (FaultPlan::parse syntax)
+//   --fault-seed=N              ... or one derived from a seed (N != 0)
 // plus binary-specific flags documented in each main().
 #pragma once
 

@@ -27,6 +27,7 @@
 #include "graph/generators.hpp"
 #include "primitives/common.hpp"
 #include "util/options.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/machine.hpp"
 #include "vgpu/stats_io.hpp"
 #include "vgpu/trace.hpp"
@@ -150,7 +151,7 @@ std::vector<ValueT> cpu_widest(const graph::Graph& g, VertexT src) {
 
 int main(int argc, char** argv) {
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "scale", "trace"});
+  options.check_unknown({"gpus", "scale", "trace", "fault-plan", "fault-seed"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 11));
   const std::string trace_path = options.get_string("trace", "");
@@ -162,6 +163,14 @@ int main(int argc, char** argv) {
               g.num_edges);
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  const auto fault_injector = vgpu::make_injector_from_flags(
+      options.get_string("fault-plan", ""),
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 0)), gpus);
+  if (fault_injector != nullptr) {
+    machine.set_fault_injector(fault_injector.get());
+    std::printf("fault injection armed: %s\n",
+                fault_injector->plan().to_string().c_str());
+  }
   vgpu::Tracer tracer;
   if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;

@@ -18,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "mtx", "edges", "dataset"});
+  options.check_unknown({"gpus", "mtx", "edges", "dataset", "fault-plan", "fault-seed"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
 
   graph::Graph g;

@@ -14,6 +14,7 @@
 #include "graph/generators.hpp"
 #include "primitives/bfs.hpp"
 #include "util/options.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/machine.hpp"
 #include "vgpu/stats_io.hpp"
 #include "vgpu/trace.hpp"
@@ -21,7 +22,7 @@
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "scale", "edge-factor", "trace"});
+  options.check_unknown({"gpus", "scale", "edge-factor", "trace", "fault-plan", "fault-seed"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 12));
   const double edge_factor = options.get_double("edge-factor", 16);
@@ -38,6 +39,14 @@ int main(int argc, char** argv) {
   // 2. Create a machine: N virtual GPUs plus the PCIe interconnect.
   //    Presets: "k40", "k80", "p100".
   auto machine = vgpu::Machine::create("k40", gpus);
+  const auto fault_injector = vgpu::make_injector_from_flags(
+      options.get_string("fault-plan", ""),
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 0)), gpus);
+  if (fault_injector != nullptr) {
+    machine.set_fault_injector(fault_injector.get());
+    std::printf("fault injection armed: %s\n",
+                fault_injector->plan().to_string().c_str());
+  }
 
   // Optional: attach a tracer. Tracing is observation-only — results
   // and modeled times are identical with or without it.

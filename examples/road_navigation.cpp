@@ -15,6 +15,7 @@
 #include "graph/generators.hpp"
 #include "primitives/sssp.hpp"
 #include "util/options.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/machine.hpp"
 #include "vgpu/stats_io.hpp"
 #include "vgpu/trace.hpp"
@@ -22,7 +23,7 @@
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "width", "height", "trace"});
+  options.check_unknown({"gpus", "width", "height", "trace", "fault-plan", "fault-seed"});
   const int gpus = static_cast<int>(options.get_int("gpus", 2));
   const auto width = static_cast<VertexT>(options.get_int("width", 128));
   const auto height = static_cast<VertexT>(options.get_int("height", 128));
@@ -41,6 +42,14 @@ int main(int argc, char** argv) {
   config.mark_predecessors = true;
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  const auto fault_injector = vgpu::make_injector_from_flags(
+      options.get_string("fault-plan", ""),
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 0)), gpus);
+  if (fault_injector != nullptr) {
+    machine.set_fault_injector(fault_injector.get());
+    std::printf("fault injection armed: %s\n",
+                fault_injector->plan().to_string().c_str());
+  }
   vgpu::Tracer tracer;
   if (!trace_path.empty()) machine.set_tracer(&tracer);
   const auto route = prim::run_sssp(g, origin, machine, config);

@@ -18,6 +18,7 @@
 #include "primitives/cc.hpp"
 #include "primitives/pagerank.hpp"
 #include "util/options.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/machine.hpp"
 #include "vgpu/stats_io.hpp"
 #include "vgpu/trace.hpp"
@@ -43,7 +44,7 @@ void print_top(const char* title, const std::vector<mgg::ValueT>& score,
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "vertices", "epv", "trace"});
+  options.check_unknown({"gpus", "vertices", "epv", "trace", "fault-plan", "fault-seed"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto vertices =
       static_cast<VertexT>(options.get_int("vertices", 20000));
@@ -55,6 +56,14 @@ int main(int argc, char** argv) {
               g.num_edges / 2);
 
   auto machine = vgpu::Machine::create("k40", gpus);
+  const auto fault_injector = vgpu::make_injector_from_flags(
+      options.get_string("fault-plan", ""),
+      static_cast<std::uint64_t>(options.get_int("fault-seed", 0)), gpus);
+  if (fault_injector != nullptr) {
+    machine.set_fault_injector(fault_injector.get());
+    std::printf("fault injection armed: %s\n",
+                fault_injector->plan().to_string().c_str());
+  }
   vgpu::Tracer tracer;
   if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;

@@ -26,8 +26,23 @@ echo "==> sync-mode differential suite + handshake stressors (explicit)"
 echo "==> micro_operators acceptance gate (writes BENCH_operators.json)"
 "$BUILD/bench/micro_operators" --json="$BUILD/BENCH_operators.json"
 
+echo "==> chaos + fault-recovery suites (explicit)"
+# Seeded fault plans against whole primitive runs plus the targeted
+# recovery tests (grow-and-retry, comm retries, watchdog, degraded
+# re-enact). Every chaos assertion message carries its fault-plan
+# seed, so a red run is reproducible straight from this log.
+"$BUILD/tests/mgg_tests" \
+  --gtest_filter='Chaos.*:ChaosTsan.*:FaultRecovery.*:FaultInjection.*'
+
 echo "==> micro_comm acceptance gate"
 "$BUILD/bench/micro_comm"
+
+echo "==> micro_faults acceptance gate (writes BENCH_faults.json)"
+# Non-vacuous recovery gates: grow-and-retry completes a just-enough
+# run that throws without it, comm retries recover with backoff
+# charged, degraded re-enact is correct on n-1 vGPUs. Prints the
+# failing fault plan on a red gate.
+"$BUILD/bench/micro_faults" --json="$BUILD/BENCH_faults.json"
 
 echo "==> sec5b sync-mode acceptance gate (writes BENCH_sync.json)"
 "$BUILD/bench/sec5b_sync_latency" --json="$BUILD/BENCH_sync.json"
@@ -47,6 +62,9 @@ echo "==> tsan: core / fault / stream-stress suites"
 TSAN_FILTER='Message.*:CommBus.*:Frontier.*:Operators.*:Problem.*'
 TSAN_FILTER+=':Enactor.*:Oom.*:FaultInjection.*:StreamStress.*'
 TSAN_FILTER+=':OperatorPipeline.*:SyncPipeline.*'
+# Fault-recovery paths cross threads by design: injector atomics,
+# the comm retry loop, the watchdog thread and the regrow replay.
+TSAN_FILTER+=':FaultRecovery.*:ChaosTsan.*'
 # Tracer observation paths + the Device scale-knob race regression
 # (tracer buffers are written from stream workers and drained from the
 # barrier-completion thread).

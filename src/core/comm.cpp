@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "vgpu/fault.hpp"
 
 namespace mgg::core {
 
@@ -71,10 +72,50 @@ void CommBus::push(int src, int dst, Message message) {
           release(std::move(msg));
           return;
         }
+        // Fault consultation + bounded retry with modeled backoff.
+        // Fault-free machines skip this entirely (null injector), so
+        // the hot path and its modeled times are untouched.
+        double slowdown = 1.0;
+        double backoff_s = 0.0;
+        if (vgpu::FaultInjector* injector = machine_->fault_injector()) {
+          const int max_retries =
+              max_retries_.load(std::memory_order_relaxed);
+          const double base =
+              backoff_base_s_.load(std::memory_order_relaxed);
+          int attempt = 0;
+          for (;;) {
+            const vgpu::TransferDecision decision =
+                injector->on_transfer(src, dst);
+            if (decision.permanent_fail) {
+              release(std::move(msg));
+              throw Error(Status::kUnavailable,
+                          "permanent transfer fault on link " +
+                              std::to_string(src) + "->" +
+                              std::to_string(dst));
+            }
+            slowdown = decision.slowdown;
+            if (!decision.transient_fail) break;
+            if (attempt >= max_retries) {
+              release(std::move(msg));
+              throw Error(Status::kUnavailable,
+                          "transfer retries exhausted on link " +
+                              std::to_string(src) + "->" +
+                              std::to_string(dst) + " after " +
+                              std::to_string(attempt) + " retries");
+            }
+            // Modeled exponential backoff, charged below as part of
+            // this transfer's comm-timeline occupancy.
+            backoff_s += base * static_cast<double>(1ULL << attempt);
+            ++attempt;
+            comm_retries_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         const std::size_t bytes = msg.payload_bytes();
         const std::size_t items = msg.vertices.size();
         const double seconds =
-            machine_->interconnect().transfer_seconds(src, dst, bytes);
+            machine_->interconnect().transfer_seconds(src, dst, bytes) *
+                slowdown +
+            backoff_s;
         machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s,
                                             "push", dst);
         machine_->interconnect().record_transfer(bytes);

@@ -1,10 +1,12 @@
 #include "core/enactor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "vgpu/fault.hpp"
 
 namespace mgg::core {
 
@@ -138,6 +140,7 @@ std::uint64_t EnactorBase::total_combine_items() const {
 }
 
 vgpu::RunStats EnactorBase::enact() {
+  const Config& cfg = problem_.config();
   run_stats_ = vgpu::RunStats{};
   iteration_records_.clear();
   iteration_ = 0;
@@ -151,6 +154,19 @@ vgpu::RunStats EnactorBase::enact() {
   bus_->reset();
   if (pipeline_) handshakes_->reset();
   tracer_ = problem_.machine().tracer();
+  // Fault/recovery wiring. All of it is inert on a fault-free default
+  // machine: no injector, max_oom_regrows defaults to 0, the retry
+  // policy is only consulted under an injector, and the watchdog only
+  // spawns when a deadline is configured.
+  vgpu::FaultInjector* injector = problem_.machine().fault_injector();
+  bus_->set_retry_policy(cfg.max_comm_retries, cfg.comm_backoff_base_s);
+  if (pipeline_) handshakes_->set_fault_injector(injector);
+  oom_regrows_.store(0, std::memory_order_relaxed);
+  progress_.store(0, std::memory_order_relaxed);
+  const std::uint64_t comm_retry_base = bus_->comm_retries();
+  const std::uint64_t fault_base =
+      injector != nullptr ? injector->injected_count() : 0;
+  run_stats_.watchdog_deadline_s = cfg.watchdog_deadline_s;
   // Dense frontiers are strictly opt-in: the threshold only reaches the
   // operator contexts when the primitive declares support. Wired here
   // (not the constructor) because dense_frontier_capable() is virtual.
@@ -166,6 +182,21 @@ vgpu::RunStats EnactorBase::enact() {
     s->device->harvest_iteration();  // drop stale counters
   }
   begin_iteration(0);
+
+  // Watchdog (pipeline only: BSP workers meet at barriers, which only a
+  // dead thread can stall — and a dead thread already records its error
+  // and aborts). A receiver whose sender's handshake was swallowed
+  // (kHandshakeDrop, or a real lost publish) blocks in take() forever;
+  // the watchdog turns that hang into a clean kTimedOut error stop.
+  const bool watchdog_armed = pipeline_ && cfg.watchdog_deadline_s > 0;
+  if (watchdog_armed) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = false;
+    }
+    watchdog_ = std::thread(
+        [this, deadline = cfg.watchdog_deadline_s] { watchdog_loop(deadline); });
+  }
 
   util::WallTimer timer;
   {
@@ -184,6 +215,19 @@ vgpu::RunStats EnactorBase::enact() {
     for (auto& st : status_) st = ThreadStatus::kWait;
   }
   run_stats_.wall_s = timer.seconds();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+  run_stats_.oom_regrows = oom_regrows_.load(std::memory_order_relaxed);
+  run_stats_.comm_retries = bus_->comm_retries() - comm_retry_base;
+  if (injector != nullptr) {
+    run_stats_.faults_injected = injector->injected_count() - fault_base;
+  }
   run_stats_.total_combine_items = total_combine_items();
   for (const auto& s : slices_) {
     run_stats_.dense_switches += s->frontier.dense_switches();
@@ -251,7 +295,7 @@ void EnactorBase::run_loop(int gpu) {
     // --- compute + communicate (overlapped via the comm stream) ---
     try {
       if (!has_error()) {
-        iteration_core(s);
+        run_core_with_recovery(s);
         communicate(s);
       }
     } catch (...) {
@@ -302,7 +346,7 @@ void EnactorBase::run_loop_pipeline(int gpu) {
     // overlap the packaging of later peers.
     try {
       if (!has_error()) {
-        iteration_core(s);
+        run_core_with_recovery(s);
         communicate(s);
       }
     } catch (...) {
@@ -381,6 +425,86 @@ void EnactorBase::run_loop_pipeline(int gpu) {
     barrier_->arrive_and_wait();  // convergence barrier (B): closes step
 
     if (stop_flag_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void EnactorBase::run_core_with_recovery(Slice& s) {
+  const Config& cfg = problem_.config();
+  int attempts = 0;
+  for (;;) {
+    try {
+      iteration_core(s);
+      return;
+    } catch (const Error& e) {
+      if (e.status() != Status::kOutOfMemory || !core_replayable() ||
+          attempts >= cfg.max_oom_regrows || has_error()) {
+        throw;
+      }
+      // Grow-and-retry (§IV-C spirit): free the output queue *first*,
+      // then regrow with headroom — Array1D::ensure_size allocates the
+      // new block before releasing the old one, so release-then-grow is
+      // what lowers the retry's peak footprint below the failing
+      // attempt's. recover_output_oom returning false means the OOM did
+      // not come from a tracked frontier growth (e.g. an injected
+      // transient alloc fault at another site); the replay proceeds
+      // anyway — that site consumed a fault event, so a transient
+      // clears on its own, and a persistent capacity overflow simply
+      // re-throws once the regrow budget is spent.
+      s.frontier.recover_output_oom(cfg.oom_headroom);
+      ++attempts;
+      oom_regrows_.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr) {
+        vgpu::TraceSpan span;
+        span.name = "oom_regrow";
+        span.category = vgpu::TraceCategory::kFault;
+        span.gpu = static_cast<std::int16_t>(s.gpu);
+        span.track = 0;
+        span.items = static_cast<std::uint64_t>(attempts);
+        span.start_s = s.device->modeled_compute_time();
+        span.end_s = span.start_s;
+        tracer_->record(span);
+      }
+    }
+  }
+}
+
+void EnactorBase::watchdog_loop(double deadline_s) {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  std::uint64_t last_progress = progress_.load(std::memory_order_acquire);
+  auto last_change = std::chrono::steady_clock::now();
+  // Poll a few times per deadline; the cv makes shutdown (and tests)
+  // prompt regardless of the tick length.
+  const auto tick = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(std::max(deadline_s / 4.0, 0.010)));
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, tick, [this] { return watchdog_stop_; })) {
+      return;  // run finished normally
+    }
+    const std::uint64_t p = progress_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    if (p != last_progress) {
+      last_progress = p;
+      last_change = now;
+      continue;
+    }
+    if (std::chrono::duration<double>(now - last_change).count() <
+        deadline_s) {
+      continue;
+    }
+    // Stalled: no superstep closed for a full deadline. Record
+    // kTimedOut through the regular error-stop protocol — record_error
+    // aborts the handshake table, which frees every blocked take(), so
+    // the workers drain to the convergence barrier and stop cleanly;
+    // the enactor stays reusable.
+    try {
+      throw Error(Status::kTimedOut,
+                  "watchdog: no superstep closed within " +
+                      std::to_string(deadline_s) +
+                      " s (stalled handshake or straggler)");
+    } catch (...) {
+      record_error(n_);
+    }
+    return;
   }
 }
 
@@ -483,6 +607,8 @@ void EnactorBase::close_iteration_body() {
   }
   ++run_stats_.iterations;
   ++iteration_;
+  // Feed the watchdog: a closed superstep is forward progress.
+  progress_.fetch_add(1, std::memory_order_release);
 
   bool all_empty = true;
   for (const auto& s : slices_) {

@@ -166,6 +166,18 @@ class EnactorBase {
   /// accumulation) are never handed a bitmap.
   virtual bool dense_frontier_capable() const { return false; }
 
+  /// Whether iteration_core() may be re-run from the top after a
+  /// mid-core kOutOfMemory without changing the result. The operators
+  /// allocate before running side-effecting edge functors, so at any
+  /// throw point the current operator has no side effects yet — but a
+  /// multi-operator core replays *completed* operators too, so this
+  /// may only return true when every per-vertex update in the core is
+  /// idempotent or monotone (BFS label stamps, SSSP distance
+  /// relaxations). Opt-in: grow-and-retry recovery
+  /// (Config::max_oom_regrows) only replays when this returns true;
+  /// otherwise a mid-core OOM propagates as a clean typed Error.
+  virtual bool core_replayable() const { return false; }
+
   // ------------------------------------------------------------------
   // Services available to primitives.
   // ------------------------------------------------------------------
@@ -247,6 +259,16 @@ class EnactorBase {
   void worker(int gpu);
   void run_loop(int gpu);
   void run_loop_pipeline(int gpu);
+  /// iteration_core with §IV-C grow-and-retry: a transient mid-core
+  /// kOutOfMemory (just-enough overflow or injected fault) on a
+  /// replayable primitive frees + regrows the output queue and
+  /// deterministically replays the superstep, up to
+  /// Config::max_oom_regrows times (W/H naturally recharged by the
+  /// replay; counted in RunStats::oom_regrows).
+  void run_core_with_recovery(Slice& s);
+  /// Watchdog body: aborts the run with Status::kTimedOut when no
+  /// superstep closes within `deadline_s` of wall clock.
+  void watchdog_loop(double deadline_s);
   /// Record + publish handshake events for every peer not already
   /// signaled via mark_peer_pushed, then clear the marks. Runs even on
   /// the error path: receivers block on these events, not on a
@@ -294,6 +316,17 @@ class EnactorBase {
   std::vector<std::exception_ptr> errors_;
 
   std::uint64_t iteration_ = 0;
+  /// Superstep replays performed by run_core_with_recovery this run.
+  std::atomic<std::uint64_t> oom_regrows_{0};
+  /// Watchdog (armed per enact() when pipeline_ and
+  /// Config::watchdog_deadline_s > 0): progress_ is bumped every time
+  /// a superstep closes; the watchdog thread aborts the run via the
+  /// error-stop protocol when it stops moving for the deadline.
+  std::atomic<std::uint64_t> progress_{0};
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
   vgpu::RunStats run_stats_;
   std::vector<vgpu::IterationRecord> iteration_records_;
   /// Machine's tracer, fetched once per enact() (null = disabled).

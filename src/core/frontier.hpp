@@ -154,12 +154,46 @@ class Frontier {
     const std::size_t need = static_cast<std::size_t>(required);
     if (need > q.capacity()) {
       // All schemes fall back to just-enough growth to stay legal; for
-      // kMax the initial |E_i| capacity makes this unreachable.
+      // kMax the initial |E_i| capacity makes this unreachable. Track
+      // the in-flight request so a kOutOfMemory here is recoverable:
+      // recover_output_oom() reads it to size the regrown queue.
+      pending_request_ = required;
       q.ensure_size(need);
+      pending_request_ = 0;
     }
     q.set_size(std::max<std::size_t>(q.size(), need));
     dense_[1 - current_] = false;
     return q.data();
+  }
+
+  /// Grow-and-retry recovery (§IV-C's just-enough gamble losing): after
+  /// request_output() threw kOutOfMemory, release the output queue
+  /// *first* — Array1D::ensure_size allocates the new buffer before
+  /// freeing the old, so regrowing in place would need old+new bytes,
+  /// the very peak that just failed — then regrow it to the failed
+  /// request padded by `headroom` (falling back to the exact size if
+  /// the padded allocation also misses). The discarded contents are
+  /// dead: the caller deterministically replays the superstep from the
+  /// intact input buffer. Returns false when the OOM did not come from
+  /// a tracked output request (the caller may still retry — an
+  /// injected transient fault clears on its own).
+  bool recover_output_oom(double headroom) {
+    const std::size_t want = static_cast<std::size_t>(pending_request_);
+    if (want == 0) return false;
+    pending_request_ = 0;
+    auto& q = queues_[1 - current_];
+    q.release();
+    const std::size_t padded = std::max<std::size_t>(
+        want + 1, static_cast<std::size_t>(
+                      static_cast<double>(want) * std::max(headroom, 1.0)));
+    try {
+      q.ensure_size(padded);
+    } catch (const Error& e) {
+      if (e.status() != Status::kOutOfMemory) throw;
+      q.ensure_size(want);  // exact-size fallback
+    }
+    q.set_size(0);
+    return true;
   }
 
   /// Writable view of the committed output entries, for in-place
@@ -391,6 +425,10 @@ class Frontier {
   SizeT output_size_ = 0;
   bool last_advance_dense_ = false;
   std::uint64_t dense_switches_ = 0;
+  /// Output request in flight inside request_output()'s ensure_size
+  /// (nonzero only while that call can throw kOutOfMemory); consumed
+  /// by recover_output_oom().
+  SizeT pending_request_ = 0;
 };
 
 }  // namespace mgg::core

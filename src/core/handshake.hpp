@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/stream.hpp"
 
 namespace mgg::core {
@@ -45,6 +46,14 @@ class HandshakeTable {
       : n_(num_gpus),
         slots_(std::make_unique<Slot[]>(
             static_cast<std::size_t>(num_gpus) * num_gpus)) {}
+
+  /// Install (or clear, with nullptr) a fault injector: a
+  /// kHandshakeDrop spec swallows the matching publish(), stalling the
+  /// receiver's take() until the enactor's watchdog aborts the run.
+  /// Set by the enactor before the run's workers start.
+  void set_fault_injector(vgpu::FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
 
   /// New run: drop any leftover events (an aborted run may leave
   /// published-but-untaken slots) and clear the abort flag.
@@ -67,6 +76,14 @@ class HandshakeTable {
   /// events and stragglers may still publish into dead slots.
   void publish(int src, int dst, std::uint64_t superstep,
                vgpu::Event event) {
+    if (vgpu::FaultInjector* injector =
+            fault_injector_.load(std::memory_order_acquire)) {
+      if (injector->drop_handshake(src, dst)) {
+        // Swallowed publish: the receiver stalls in take() until the
+        // watchdog (or another error path) calls abort().
+        return;
+      }
+    }
     Slot& s = slot(src, dst);
     {
       std::lock_guard<std::mutex> lock(s.mutex);
@@ -134,6 +151,7 @@ class HandshakeTable {
   int n_ = 0;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<bool> aborted_{false};
+  std::atomic<vgpu::FaultInjector*> fault_injector_{nullptr};
 };
 
 }  // namespace mgg::core

@@ -43,6 +43,37 @@ struct Config {
   /// compacted queue. 0 disables dense mode entirely (the default);
   /// only primitives that declare dense_frontier_capable() honor it.
   double dense_threshold = 0;
+
+  // --- Fault-recovery knobs (all defaults preserve pre-recovery
+  // behavior bit-identically; see docs/architecture.md §10) ---
+
+  /// Grow-and-retry budget for a transient mid-superstep OOM (the
+  /// §IV-C just-enough gamble losing): free the output queue, regrow
+  /// with headroom, and deterministically replay the superstep — up to
+  /// this many times per run. 0 (default) disables recovery: the OOM
+  /// propagates as a clean typed Error exactly as before. Only
+  /// primitives whose iteration_core is replay-safe
+  /// (EnactorBase::core_replayable()) ever replay.
+  int max_oom_regrows = 0;
+  /// Regrow factor applied to the failed request on recovery (falls
+  /// back to the exact size if the padded allocation also fails).
+  double oom_headroom = 1.5;
+  /// Bounded retries for a transient transfer fault, charged to the
+  /// per-GPU comm timeline with modeled exponential backoff
+  /// (comm_backoff_base_s * 2^attempt). Retries only matter when a
+  /// FaultInjector is installed; fault-free runs never consult them.
+  int max_comm_retries = 3;
+  double comm_backoff_base_s = 50e-6;
+  /// Watchdog wall-clock deadline for pipeline-mode progress: if no
+  /// superstep closes for this long, the run aborts cleanly via
+  /// HandshakeTable::abort() with Status::kTimedOut and the enactor
+  /// stays reusable. 0 (default) disarms the watchdog.
+  double watchdog_deadline_s = 0;
+  /// After a permanent device loss (Status::kUnavailable authored by
+  /// the FaultInjector), re-enact on the surviving n-1 vGPUs instead
+  /// of failing (primitives' run_* facades implement the re-run;
+  /// counted in RunStats::degraded_reruns).
+  bool degrade_on_device_loss = false;
 };
 
 class ProblemBase {

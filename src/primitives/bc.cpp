@@ -300,30 +300,32 @@ BcResult run_bc(const graph::Graph& g, vgpu::Machine& machine,
                 core::Config config, std::vector<VertexT> sources) {
   config.duplication = part::Duplication::kAll;
 
-  BcProblem problem;
-  problem.init(g, machine, config);
-  BcEnactor enactor(problem);
-
   if (sources.empty()) {
     sources.resize(g.num_vertices);
     for (VertexT v = 0; v < g.num_vertices; ++v) sources[v] = v;
   }
 
-  BcResult result;
-  for (const VertexT src : sources) {
-    enactor.reset(src);
-    result.stats = enactor.enact();
-    result.total_iterations += result.stats.iterations;
-  }
-  auto raw = gather_vertex_values<double>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).bc[lv]; });
-  result.bc.resize(raw.size());
-  for (std::size_t v = 0; v < raw.size(); ++v) {
-    // Undirected graphs count each path twice.
-    result.bc[v] = static_cast<ValueT>(raw[v] / 2.0);
-  }
-  return result;
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    BcProblem problem;
+    problem.init(g, machine, cfg);
+    BcEnactor enactor(problem);
+
+    BcResult result;
+    for (const VertexT src : sources) {
+      enactor.reset(src);
+      result.stats = enactor.enact();
+      result.total_iterations += result.stats.iterations;
+    }
+    auto raw = gather_vertex_values<double>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).bc[lv]; });
+    result.bc.resize(raw.size());
+    for (std::size_t v = 0; v < raw.size(); ++v) {
+      // Undirected graphs count each path twice.
+      result.bc[v] = static_cast<ValueT>(raw[v] / 2.0);
+    }
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

@@ -75,6 +75,10 @@ class BcEnactor : public core::EnactorBase {
   void communicate(Slice& s) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   bool converged(bool all_frontiers_empty, std::uint64_t iteration) override;
+  /// NOT replayable: sigma/delta accumulations are additive (replaying
+  /// a core would double-count path counts and dependencies). A
+  /// mid-core OOM propagates as an error.
+  bool core_replayable() const override { return false; }
 
  private:
   void core_forward(Slice& s);

@@ -102,22 +102,24 @@ void BfsEnactor::expand_incoming(Slice& s, const core::Message& msg) {
 
 BfsResult run_bfs(const graph::Graph& g, VertexT src, vgpu::Machine& machine,
                   const core::Config& config) {
-  BfsProblem problem;
-  problem.init(g, machine, config);
-  BfsEnactor enactor(problem);
-  enactor.reset(src);
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    BfsProblem problem;
+    problem.init(g, machine, cfg);
+    BfsEnactor enactor(problem);
+    enactor.reset(src);
 
-  BfsResult result;
-  result.stats = enactor.enact();
-  result.labels = gather_vertex_values<VertexT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
-  if (config.mark_predecessors) {
-    result.preds = gather_vertex_values<VertexT>(
+    BfsResult result;
+    result.stats = enactor.enact();
+    result.labels = gather_vertex_values<VertexT>(
         problem.partitioned(),
-        [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
-  }
-  return result;
+        [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
+    if (cfg.mark_predecessors) {
+      result.preds = gather_vertex_values<VertexT>(
+          problem.partitioned(),
+          [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
+    }
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

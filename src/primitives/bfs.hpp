@@ -69,6 +69,10 @@ class BfsEnactor : public core::EnactorBase {
   /// BFS's advance tolerates bitmap frontiers (visitation is
   /// order-independent within an iteration).
   bool dense_frontier_capable() const override { return true; }
+  /// The core is a single advance+filter whose allocation precedes the
+  /// functor, and the label stamp is first-writer-wins idempotent, so
+  /// a mid-core OOM can be replayed from the top (grow-and-retry).
+  bool core_replayable() const override { return true; }
 
  private:
   BfsProblem& bfs_problem_;

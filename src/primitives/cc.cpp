@@ -124,19 +124,21 @@ CcResult run_cc(const graph::Graph& g, vgpu::Machine& machine,
   config.duplication = part::Duplication::kAll;
   config.comm = core::CommStrategy::kBroadcast;
 
-  CcProblem problem;
-  problem.init(g, machine, config);
-  CcEnactor enactor(problem);
-  enactor.reset();
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    CcProblem problem;
+    problem.init(g, machine, cfg);
+    CcEnactor enactor(problem);
+    enactor.reset();
 
-  CcResult result;
-  result.stats = enactor.enact();
-  result.comp = gather_vertex_values<VertexT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).comp[lv]; });
-  std::set<VertexT> roots(result.comp.begin(), result.comp.end());
-  result.num_components = static_cast<VertexT>(roots.size());
-  return result;
+    CcResult result;
+    result.stats = enactor.enact();
+    result.comp = gather_vertex_values<VertexT>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).comp[lv]; });
+    std::set<VertexT> roots(result.comp.begin(), result.comp.end());
+    result.num_components = static_cast<VertexT>(roots.size());
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

@@ -60,6 +60,11 @@ class CcEnactor : public core::EnactorBase {
                               std::span<const VertexT> sources,
                               VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
+  /// NOT replayable: the changed-vertex flags are rebuilt from scratch
+  /// each core, so a replay after hooking already lowered component IDs
+  /// would miss those vertices in the broadcast and peers could
+  /// converge on stale labels. A mid-core OOM propagates as an error.
+  bool core_replayable() const override { return false; }
 
  private:
   CcProblem& cc_problem_;

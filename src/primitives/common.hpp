@@ -2,13 +2,51 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/problem.hpp"
 #include "graph/types.hpp"
 #include "partition/partitioned_graph.hpp"
+#include "util/error.hpp"
+#include "vgpu/fault.hpp"
+#include "vgpu/machine.hpp"
 
 namespace mgg::prim {
+
+/// Degraded re-enact (Config::degrade_on_device_loss): run `body` with
+/// the given config; if it fails with kUnavailable *and* the machine's
+/// fault injector marked a device permanently lost, acknowledge the
+/// loss (disarming the dead device's permanent faults — the surviving
+/// GPUs are renumbered onto the remaining device slots) and re-run the
+/// whole primitive from scratch on n-1 vGPUs. The rerun recomputes a
+/// full, correct result; RunStats::degraded_reruns records that it
+/// happened. Any other failure — or a loss with the feature off, a
+/// single-GPU run, or no injector — propagates unchanged.
+///
+/// `body` must be re-entrant: it receives the config by value and
+/// rebuilds problem + enactor itself, so the failed run's state is
+/// discarded wholesale.
+template <typename Body>
+auto run_with_degrade(vgpu::Machine& machine, const core::Config& config,
+                      Body&& body) -> decltype(body(config)) {
+  try {
+    return body(config);
+  } catch (const Error& e) {
+    if (e.status() != Status::kUnavailable ||
+        !config.degrade_on_device_loss || config.num_gpus <= 1) {
+      throw;
+    }
+    vgpu::FaultInjector* injector = machine.fault_injector();
+    if (injector == nullptr || injector->lost_device() < 0) throw;
+    injector->acknowledge_device_loss();
+    core::Config degraded = config;
+    degraded.num_gpus = config.num_gpus - 1;
+    auto result = body(degraded);
+    result.stats.degraded_reruns += 1;
+    return result;
+  }
+}
 
 /// Gather a per-vertex result distributed across GPUs back into one
 /// global array: for every global vertex, read the value its *host*

@@ -189,23 +189,25 @@ DobfsResult run_dobfs(const graph::Graph& g, VertexT src,
   config.duplication = part::Duplication::kAll;
   config.comm = core::CommStrategy::kBroadcast;
 
-  DobfsProblem problem;
-  problem.init(g, machine, config);
-  DobfsEnactor enactor(problem, options);
-  enactor.reset(src);
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    DobfsProblem problem;
+    problem.init(g, machine, cfg);
+    DobfsEnactor enactor(problem, options);
+    enactor.reset(src);
 
-  DobfsResult result;
-  result.stats = enactor.enact();
-  result.direction_switches = enactor.direction_switches();
-  result.labels = gather_vertex_values<VertexT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
-  if (config.mark_predecessors) {
-    result.preds = gather_vertex_values<VertexT>(
+    DobfsResult result;
+    result.stats = enactor.enact();
+    result.direction_switches = enactor.direction_switches();
+    result.labels = gather_vertex_values<VertexT>(
         problem.partitioned(),
-        [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
-  }
-  return result;
+        [&](int gpu, VertexT lv) { return problem.data(gpu).labels[lv]; });
+    if (cfg.mark_predecessors) {
+      result.preds = gather_vertex_values<VertexT>(
+          problem.partitioned(),
+          [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
+    }
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

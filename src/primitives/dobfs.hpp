@@ -85,6 +85,13 @@ class DobfsEnactor : public core::EnactorBase {
                               VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   void begin_iteration(std::uint64_t iteration) override;
+  /// Replayable in both directions: labels are first-writer-wins
+  /// stamps, the operators allocate before their functors run, and the
+  /// backward rebuild is guarded by a consumed flag (re-running the
+  /// core leaves an already-built unvisited list intact). The hosted
+  /// counters and the compaction pass run only after a successful
+  /// advance, so a mid-core OOM never double-counts them.
+  bool core_replayable() const override { return true; }
 
  private:
   void core_forward(Slice& s);

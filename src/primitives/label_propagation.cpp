@@ -131,19 +131,21 @@ LpResult run_label_propagation(const graph::Graph& g,
   config.duplication = part::Duplication::kAll;
   config.comm = core::CommStrategy::kBroadcast;
 
-  LpProblem problem;
-  problem.init(g, machine, config);
-  LpEnactor enactor(problem, options);
-  enactor.reset();
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    LpProblem problem;
+    problem.init(g, machine, cfg);
+    LpEnactor enactor(problem, options);
+    enactor.reset();
 
-  LpResult result;
-  result.stats = enactor.enact();
-  result.label = gather_vertex_values<VertexT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).label[lv]; });
-  std::set<VertexT> distinct(result.label.begin(), result.label.end());
-  result.num_communities = static_cast<VertexT>(distinct.size());
-  return result;
+    LpResult result;
+    result.stats = enactor.enact();
+    result.label = gather_vertex_values<VertexT>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).label[lv]; });
+    std::set<VertexT> distinct(result.label.begin(), result.label.end());
+    result.num_communities = static_cast<VertexT>(distinct.size());
+    return result;
+  });
 }
 
 std::vector<VertexT> cpu_label_propagation(const graph::Graph& g,

@@ -61,6 +61,10 @@ class LpEnactor : public core::EnactorBase {
                               VertexT* out) override;
   void expand_incoming(Slice& s, const core::Message& msg) override;
   bool converged(bool all_frontiers_empty, std::uint64_t iteration) override;
+  /// NOT replayable: label updates depend on neighbor majorities read
+  /// mid-core, so a partial pass is not idempotent. A mid-core OOM
+  /// propagates as an error.
+  bool core_replayable() const override { return false; }
 
  private:
   LpProblem& lp_problem_;

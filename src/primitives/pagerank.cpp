@@ -146,21 +146,24 @@ bool PagerankEnactor::converged(bool /*all_frontiers_empty*/,
 PagerankResult run_pagerank(const graph::Graph& g, vgpu::Machine& machine,
                             const core::Config& config,
                             PagerankOptions options) {
-  core::Config cfg = config;
+  core::Config base = config;
   // +1 iteration: the first advance happens before the first update.
-  cfg.max_iterations = static_cast<std::uint64_t>(options.max_iterations) + 1;
+  base.max_iterations =
+      static_cast<std::uint64_t>(options.max_iterations) + 1;
 
-  PagerankProblem problem;
-  problem.init(g, machine, cfg);
-  PagerankEnactor enactor(problem, options);
-  enactor.reset();
+  return run_with_degrade(machine, base, [&](const core::Config& cfg) {
+    PagerankProblem problem;
+    problem.init(g, machine, cfg);
+    PagerankEnactor enactor(problem, options);
+    enactor.reset();
 
-  PagerankResult result;
-  result.stats = enactor.enact();
-  result.rank = gather_vertex_values<ValueT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).rank[lv]; });
-  return result;
+    PagerankResult result;
+    result.stats = enactor.enact();
+    result.rank = gather_vertex_values<ValueT>(
+        problem.partitioned(),
+        [&](int gpu, VertexT lv) { return problem.data(gpu).rank[lv]; });
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

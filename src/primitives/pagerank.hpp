@@ -73,6 +73,10 @@ class PagerankEnactor : public core::EnactorBase {
   /// Rank pushes commute (floating-point order is fixed by the
   /// ascending hosted-vertex update), so bitmap frontiers are safe.
   bool dense_frontier_capable() const override { return true; }
+  /// NOT replayable: the advance's `acc[dst] += ...` contributions are
+  /// not idempotent — replaying a partially-run core would double-add
+  /// rank mass. A mid-core OOM propagates as an error.
+  bool core_replayable() const override { return false; }
 
  private:
   PagerankProblem& pr_problem_;

@@ -171,22 +171,24 @@ bool SsspEnactor::converged(bool all_frontiers_empty,
 SsspResult run_sssp(const graph::Graph& g, VertexT src,
                     vgpu::Machine& machine, const core::Config& config,
                     SsspOptions options) {
-  SsspProblem problem;
-  problem.init(g, machine, config);
-  SsspEnactor enactor(problem, options);
-  enactor.reset(src);
+  return run_with_degrade(machine, config, [&](const core::Config& cfg) {
+    SsspProblem problem;
+    problem.init(g, machine, cfg);
+    SsspEnactor enactor(problem, options);
+    enactor.reset(src);
 
-  SsspResult result;
-  result.stats = enactor.enact();
-  result.dist = gather_vertex_values<ValueT>(
-      problem.partitioned(),
-      [&](int gpu, VertexT lv) { return problem.data(gpu).dist[lv]; });
-  if (config.mark_predecessors) {
-    result.preds = gather_vertex_values<VertexT>(
+    SsspResult result;
+    result.stats = enactor.enact();
+    result.dist = gather_vertex_values<ValueT>(
         problem.partitioned(),
-        [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
-  }
-  return result;
+        [&](int gpu, VertexT lv) { return problem.data(gpu).dist[lv]; });
+    if (cfg.mark_predecessors) {
+      result.preds = gather_vertex_values<VertexT>(
+          problem.partitioned(),
+          [&](int gpu, VertexT lv) { return problem.data(gpu).preds[lv]; });
+    }
+    return result;
+  });
 }
 
 }  // namespace mgg::prim

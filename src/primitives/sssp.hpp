@@ -82,6 +82,10 @@ class SsspEnactor : public core::EnactorBase {
   /// Relaxations are monotone min-updates, so bitmap iteration order is
   /// safe (the near-far split converts back to a queue first).
   bool dense_frontier_capable() const override { return true; }
+  /// Replayable: relaxations are monotone min-updates, and the near-far
+  /// split before the advance re-runs idempotently (deferred vertices
+  /// left the input frontier, so the far pile gets no duplicates).
+  bool core_replayable() const override { return true; }
 
  private:
   bool near_far() const { return options_.delta > 0; }

@@ -23,6 +23,8 @@ enum class Status : std::uint8_t {
   kIoError,           ///< file could not be read/parsed/written
   kInternal,          ///< framework invariant violated (a bug)
   kUnsupported,       ///< valid request the implementation does not handle
+  kTimedOut,          ///< wall-clock deadline exceeded (watchdog abort)
+  kUnavailable,       ///< peer/device lost or permanently failing
 };
 
 /// Human-readable name of a Status value.
@@ -35,6 +37,8 @@ constexpr std::string_view to_string(Status s) {
     case Status::kIoError: return "io_error";
     case Status::kInternal: return "internal";
     case Status::kUnsupported: return "unsupported";
+    case Status::kTimedOut: return "timed_out";
+    case Status::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -59,6 +59,17 @@ struct RunStats {
   /// barrier schedule, so modeled_total_s() is unchanged there.
   double modeled_overlap_hidden_s = 0;
   double wall_s = 0;             ///< real host time (diagnostic only)
+  /// Fault-injection / recovery observability (all 0 on a fault-free
+  /// run with default Config): supersteps replayed after a grow-and-
+  /// retry OOM recovery, transfer retries charged with modeled
+  /// backoff, total events the FaultInjector fired, and degraded
+  /// re-enacts after a permanent device loss.
+  std::uint64_t oom_regrows = 0;
+  std::uint64_t comm_retries = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degraded_reruns = 0;
+  /// Watchdog wall-clock deadline this run was armed with (0 = off).
+  double watchdog_deadline_s = 0;
 
   double modeled_total_s() const {
     return modeled_compute_s + modeled_comm_s + modeled_overhead_s -

@@ -13,7 +13,9 @@
 #include <memory>
 #include <mutex>
 
+#include "util/error.hpp"
 #include "vgpu/cost.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/gpu_model.hpp"
 #include "vgpu/memory.hpp"
 #include "vgpu/stream.hpp"
@@ -54,6 +56,19 @@ class Device {
     // workload-scale) while stream workers record costs, so they are
     // atomics; the cost arithmetic stays outside the counter mutex to
     // keep this hot path short.
+    double fault_slowdown = 1.0;
+    if (FaultInjector* injector =
+            fault_injector_.load(std::memory_order_acquire)) {
+      const KernelDecision decision = injector->on_kernel(id_);
+      if (decision.fail) {
+        // A faulted kernel is a lost device, not an OOM: the operator's
+        // side effects already ran, so this must never trigger the
+        // grow-and-retry replay path.
+        throw Error(Status::kUnavailable,
+                    "injected kernel fault on gpu" + std::to_string(id_));
+      }
+      fault_slowdown = decision.slowdown;
+    }
     const double workload_scale =
         workload_scale_.load(std::memory_order_relaxed);
     // Effective (full-size-modeled) edge work, plus the occupancy-ramp
@@ -63,10 +78,11 @@ class Device {
                       std::max(imbalance, 1.0);
     const double ramp = we > 0 ? std::sqrt(we * model_.ramp_items) : 0.0;
     const double seconds =
-        (we + ramp) / model_.edge_rate +
-        static_cast<double>(vertices) / model_.vertex_rate *
-            workload_scale +
-        static_cast<double>(launches) * model_.launch_overhead_s;
+        ((we + ramp) / model_.edge_rate +
+         static_cast<double>(vertices) / model_.vertex_rate *
+             workload_scale +
+         static_cast<double>(launches) * model_.launch_overhead_s) *
+        fault_slowdown;
     std::lock_guard<std::mutex> lock(mutex_);
     if (tracer_ != nullptr) {
       // Observation only: the span reads the timeline position the
@@ -163,6 +179,17 @@ class Device {
     return workload_scale_.load(std::memory_order_relaxed);
   }
 
+  /// Attach (or detach, with nullptr) a fault injector consulted on
+  /// every kernel cost (straggler slowdowns, kernel faults) and every
+  /// allocation on this device's MemoryManager. Attach while idle.
+  void set_fault_injector(FaultInjector* injector) {
+    memory_.set_fault_injector(injector, id_);
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const noexcept {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   /// Attach (or detach, with nullptr) a tracer. Every kernel and
   /// transfer cost recorded while attached also records a TraceSpan.
   /// Attach while the device is idle (no in-flight stream work).
@@ -191,6 +218,7 @@ class Device {
   IterationCounters counters_;
   std::atomic<double> id_scale_{1.0};
   std::atomic<double> workload_scale_{1.0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   Tracer* tracer_ = nullptr;  ///< observation-only; null = disabled
 };
 

@@ -50,6 +50,17 @@ void Machine::set_workload_scale(double scale) {
 void Machine::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
   for (auto& device : devices_) device->set_tracer(tracer);
+  if (fault_injector_ != nullptr) fault_injector_->set_tracer(tracer);
+}
+
+void Machine::set_fault_injector(FaultInjector* injector) {
+  if (injector != nullptr) {
+    MGG_REQUIRE(injector->num_devices() >= num_devices(),
+                "fault injector built for fewer devices than the machine");
+    injector->set_tracer(tracer_);
+  }
+  fault_injector_ = injector;
+  for (auto& device : devices_) device->set_fault_injector(injector);
 }
 
 void Machine::synchronize() {

@@ -55,6 +55,13 @@ class Machine {
   void set_tracer(Tracer* tracer);
   Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attach `injector` to every device (allocation + kernel sites) and
+  /// expose it to the comm/handshake layers (nullptr detaches). Attach
+  /// before enacting, while the machine is idle. The injector must
+  /// have been built for at least num_devices() devices.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const noexcept { return fault_injector_; }
+
   /// Block until every device's streams drain.
   void synchronize();
 
@@ -63,6 +70,7 @@ class Machine {
   std::vector<std::unique_ptr<Device>> devices_;
   Interconnect interconnect_;
   Tracer* tracer_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace mgg::vgpu

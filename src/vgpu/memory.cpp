@@ -1,6 +1,7 @@
 #include "vgpu/memory.hpp"
 
 #include "util/error.hpp"
+#include "vgpu/fault.hpp"
 
 namespace mgg::vgpu {
 
@@ -18,6 +19,17 @@ MemoryManager::MemoryManager(std::size_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
 void* MemoryManager::allocate(std::size_t bytes, std::string_view name) {
+  if (FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    const int device = fault_device_.load(std::memory_order_relaxed);
+    if (injector->on_alloc(device).fail) {
+      throw Error(Status::kOutOfMemory,
+                  "injected allocation fault on gpu" +
+                      std::to_string(device) + " allocating " +
+                      std::to_string(bytes) + " B for '" +
+                      std::string(name) + "'");
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Written as a subtraction so an overflowed upstream size (e.g. a

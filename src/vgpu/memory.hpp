@@ -8,6 +8,7 @@
 // allocation schemes of §VI-B.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <mutex>
@@ -16,6 +17,8 @@
 #include "util/allocator.hpp"
 
 namespace mgg::vgpu {
+
+class FaultInjector;
 
 /// The frontier-buffer sizing policies compared in Fig. 3 (§VI-B).
 /// The policy is applied by core::Frontier when sizing its queues; the
@@ -61,8 +64,19 @@ class MemoryManager final : public util::DeviceAllocator {
   /// Forget peak statistics (current usage is unaffected).
   void reset_stats();
 
+  /// Install (or clear, with nullptr) a fault injector consulted on
+  /// every allocate(); an injected fault throws kOutOfMemory exactly
+  /// like a real capacity miss. `device` identifies this manager's
+  /// device in the injector's per-site counters.
+  void set_fault_injector(FaultInjector* injector, int device) {
+    fault_device_.store(device, std::memory_order_relaxed);
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   const std::size_t capacity_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<int> fault_device_{0};
   mutable std::mutex mutex_;
   std::size_t current_ = 0;
   std::size_t peak_ = 0;

@@ -34,6 +34,15 @@ std::string run_stats_to_json(const RunStats& stats,
   w.key("modeled_overlap_hidden_s").value(stats.modeled_overlap_hidden_s);
   w.key("modeled_total_s").value(stats.modeled_total_s());
   w.key("wall_s").value(stats.wall_s);
+  w.key("oom_regrows").value(
+      static_cast<unsigned long long>(stats.oom_regrows));
+  w.key("comm_retries").value(
+      static_cast<unsigned long long>(stats.comm_retries));
+  w.key("faults_injected").value(
+      static_cast<unsigned long long>(stats.faults_injected));
+  w.key("degraded_reruns").value(
+      static_cast<unsigned long long>(stats.degraded_reruns));
+  w.key("watchdog_deadline_s").value(stats.watchdog_deadline_s);
   if (!records.empty()) {
     w.key("iterations_detail").begin_array();
     for (const auto& r : records) {

@@ -6,10 +6,20 @@ Stream::Stream(std::string name)
     : name_(std::move(name)), worker_([this] { worker_loop(); }) {}
 
 Stream::~Stream() {
+  Event blocked;
+  bool blocked_active = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    // Release the worker if it is (or is about to get) blocked in a
+    // wait task on an event that will never fire — joining would
+    // otherwise hang forever. Registered-but-not-yet-blocked waits see
+    // cancel_waits_ and skip; already-blocked ones get cancelled below.
+    cancel_waits_ = true;
+    blocked = blocked_wait_;
+    blocked_active = wait_active_;
   }
+  if (blocked_active) blocked.cancel();
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
 }
@@ -54,7 +64,25 @@ Event Stream::record_event() {
 }
 
 void Stream::wait_event(Event event) {
-  submit([event] { event.wait(); });
+  submit([this, event] { blocking_wait(event); });
+}
+
+void Stream::blocking_wait(Event event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_waits_) return;  // tearing down; the wait is moot
+    blocked_wait_ = event;
+    wait_active_ = true;
+  }
+  event.wait_or_cancelled();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wait_active_ = false;
+    // blocked_wait_ keeps the retired event until the next wait task
+    // overwrites it: constructing a fresh Event here would allocate a
+    // new shared state on every wait, breaking the comm path's
+    // zero-steady-state-allocation property (gated by micro_comm).
+  }
 }
 
 void Stream::synchronize() {

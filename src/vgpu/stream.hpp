@@ -50,11 +50,32 @@ class Event {
     return state_->fired;
   }
 
+  /// Teardown escape hatch: release every waiter even though the event
+  /// never fired. Only Stream's destructor calls this (a worker blocked
+  /// in a wait task must not pin the join forever); query() still
+  /// reports unfired.
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->cancelled = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  /// Wait until fired or cancelled; true = actually fired.
+  bool wait_or_cancelled() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock,
+                    [this] { return state_->fired || state_->cancelled; });
+    return state_->fired;
+  }
+
  private:
   struct State {
     std::mutex mutex;
     std::condition_variable cv;
     bool fired = false;
+    bool cancelled = false;
   };
   std::shared_ptr<State> state_;
 };
@@ -187,6 +208,10 @@ class Stream {
 
  private:
   void worker_loop();
+  /// Body of a wait task: registers the event as this stream's current
+  /// blocking wait so ~Stream can cancel it, then blocks until it
+  /// fires (or teardown cancels it).
+  void blocking_wait(Event event);
 
   // Ring-buffer queue (caller must hold mutex_). Unlike a deque, a
   // ring never releases blocks on pop, so a warm queue churns with
@@ -204,6 +229,12 @@ class Stream {
   std::size_t ring_count_ = 0;
   std::exception_ptr pending_error_;
   bool stopping_ = false;
+  /// Teardown flag: once set, wait tasks return without blocking and
+  /// the currently blocked one (if any) is cancelled — a never-fired
+  /// event must not pin the destructor's join forever.
+  bool cancel_waits_ = false;
+  Event blocked_wait_;        ///< valid only while wait_active_
+  bool wait_active_ = false;  ///< worker is blocked inside blocked_wait_
   std::size_t in_flight_ = 0;  ///< queued + currently executing
   std::thread worker_;
 };

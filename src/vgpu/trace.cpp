@@ -29,6 +29,7 @@ const char* to_string(TraceCategory category) {
     case TraceCategory::kTransfer: return "transfer";
     case TraceCategory::kSync: return "sync";
     case TraceCategory::kWait: return "wait";
+    case TraceCategory::kFault: return "fault";
   }
   return "unknown";
 }

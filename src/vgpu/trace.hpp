@@ -55,6 +55,8 @@ enum class TraceCategory : std::uint8_t {
   kSync,      ///< per-superstep barrier overhead l(n) (synthesized)
   kWait,      ///< pipeline handshake wait (zero modeled width; wall time
               ///< observed in wall_s)
+  kFault,     ///< injected fault event (zero modeled width; observation
+              ///< of the FaultInjector's decision, never a cost)
 };
 
 const char* to_string(TraceCategory category);

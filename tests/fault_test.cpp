@@ -1,13 +1,24 @@
-// Failure-injection tests: out-of-memory behavior and error
-// propagation out of the multi-threaded enactor.
+// Failure-injection tests: out-of-memory behavior, error propagation
+// out of the multi-threaded enactor, and the deterministic
+// fault-injection + recovery layer (grow-and-retry, comm retries,
+// watchdog, degraded re-enact).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <latch>
+#include <memory>
 
 #include "core/enactor.hpp"
 #include "core/problem.hpp"
+#include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
+#include "primitives/cc.hpp"
+#include "primitives/common.hpp"
+#include "primitives/dobfs.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/sssp.hpp"
 #include "test_support.hpp"
+#include "vgpu/fault.hpp"
 
 namespace mgg {
 namespace {
@@ -306,6 +317,453 @@ TEST(FaultInjection, FaultOnAnyGpuAnyIteration) {
           << "gpu " << faulty_gpu << " iteration " << it;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic mid-run OOM for every paper primitive under the
+// just-enough scheme, via the FaultInjector: the run must fail with a
+// clean typed kOutOfMemory, and the SAME enactor (whose CommBus went
+// through reset() and, in pipeline mode, whose HandshakeTable went
+// through abort()) must complete a second, fault-free-identical run.
+
+/// Uniform handle over a problem+enactor pair so one harness can drive
+/// all six primitives. build() wires everything against the given
+/// machine; reset() re-arms for a run; signature() is a comparable
+/// encoding of the gathered result.
+struct PrimRunner {
+  virtual ~PrimRunner() = default;
+  virtual void reset() = 0;
+  virtual vgpu::RunStats enact() = 0;
+  virtual std::vector<double> signature() = 0;
+};
+
+template <typename Problem, typename Enactor>
+struct RunnerImpl : PrimRunner {
+  graph::Graph g;
+  std::unique_ptr<Problem> problem = std::make_unique<Problem>();
+  std::unique_ptr<Enactor> enactor;
+  std::function<void(RunnerImpl&)> do_reset;
+  std::function<std::vector<double>(RunnerImpl&)> do_signature;
+
+  void reset() override { do_reset(*this); }
+  vgpu::RunStats enact() override { return enactor->enact(); }
+  std::vector<double> signature() override { return do_signature(*this); }
+};
+
+using RunnerFactory = std::function<std::unique_ptr<PrimRunner>(
+    vgpu::Machine&, const core::Config&)>;
+
+std::unique_ptr<PrimRunner> make_bfs_runner(vgpu::Machine& m,
+                                            const core::Config& cfg) {
+  auto r = std::make_unique<RunnerImpl<prim::BfsProblem, prim::BfsEnactor>>();
+  r->g = test::small_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::BfsEnactor>(*r->problem);
+  const VertexT src = test::first_connected_vertex(r->g);
+  r->do_reset = [src](auto& self) { self.enactor->reset(src); };
+  r->do_signature = [](auto& self) {
+    const auto labels = prim::gather_vertex_values<VertexT>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).labels[lv];
+        });
+    return std::vector<double>(labels.begin(), labels.end());
+  };
+  return r;
+}
+
+std::unique_ptr<PrimRunner> make_dobfs_runner(vgpu::Machine& m,
+                                              core::Config cfg) {
+  cfg.duplication = part::Duplication::kAll;
+  cfg.comm = core::CommStrategy::kBroadcast;
+  auto r =
+      std::make_unique<RunnerImpl<prim::DobfsProblem, prim::DobfsEnactor>>();
+  r->g = test::small_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::DobfsEnactor>(*r->problem);
+  const VertexT src = test::first_connected_vertex(r->g);
+  r->do_reset = [src](auto& self) { self.enactor->reset(src); };
+  r->do_signature = [](auto& self) {
+    const auto labels = prim::gather_vertex_values<VertexT>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).labels[lv];
+        });
+    return std::vector<double>(labels.begin(), labels.end());
+  };
+  return r;
+}
+
+std::unique_ptr<PrimRunner> make_sssp_runner(vgpu::Machine& m,
+                                             const core::Config& cfg) {
+  auto r =
+      std::make_unique<RunnerImpl<prim::SsspProblem, prim::SsspEnactor>>();
+  r->g = test::small_weighted_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::SsspEnactor>(*r->problem);
+  const VertexT src = test::first_connected_vertex(r->g);
+  r->do_reset = [src](auto& self) { self.enactor->reset(src); };
+  r->do_signature = [](auto& self) {
+    const auto dist = prim::gather_vertex_values<ValueT>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).dist[lv];
+        });
+    return std::vector<double>(dist.begin(), dist.end());
+  };
+  return r;
+}
+
+std::unique_ptr<PrimRunner> make_pr_runner(vgpu::Machine& m,
+                                           core::Config cfg) {
+  cfg.max_iterations = 20;
+  auto r = std::make_unique<
+      RunnerImpl<prim::PagerankProblem, prim::PagerankEnactor>>();
+  r->g = test::small_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::PagerankEnactor>(*r->problem);
+  r->do_reset = [](auto& self) { self.enactor->reset(); };
+  r->do_signature = [](auto& self) {
+    const auto rank = prim::gather_vertex_values<ValueT>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).rank[lv];
+        });
+    return std::vector<double>(rank.begin(), rank.end());
+  };
+  return r;
+}
+
+std::unique_ptr<PrimRunner> make_cc_runner(vgpu::Machine& m,
+                                           core::Config cfg) {
+  cfg.duplication = part::Duplication::kAll;
+  cfg.comm = core::CommStrategy::kBroadcast;
+  auto r = std::make_unique<RunnerImpl<prim::CcProblem, prim::CcEnactor>>();
+  r->g = test::small_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::CcEnactor>(*r->problem);
+  r->do_reset = [](auto& self) { self.enactor->reset(); };
+  r->do_signature = [](auto& self) {
+    const auto comp = prim::gather_vertex_values<VertexT>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).comp[lv];
+        });
+    return std::vector<double>(comp.begin(), comp.end());
+  };
+  return r;
+}
+
+std::unique_ptr<PrimRunner> make_bc_runner(vgpu::Machine& m,
+                                           core::Config cfg) {
+  cfg.duplication = part::Duplication::kAll;
+  auto r = std::make_unique<RunnerImpl<prim::BcProblem, prim::BcEnactor>>();
+  r->g = test::small_rmat(10, 8);
+  r->problem->init(r->g, m, cfg);
+  r->enactor = std::make_unique<prim::BcEnactor>(*r->problem);
+  const VertexT src = test::first_connected_vertex(r->g);
+  r->do_reset = [src](auto& self) { self.enactor->reset(src); };
+  r->do_signature = [](auto& self) {
+    return prim::gather_vertex_values<double>(
+        self.problem->partitioned(), [&](int gpu, VertexT lv) {
+          return self.problem->data(gpu).bc[lv];
+        });
+  };
+  return r;
+}
+
+/// The harness: fault-free golden run; a counting run to discover the
+/// per-device allocation-event cursor at the start of enact(); a
+/// targeted run where every run-time allocation on one device fails
+/// (clean typed kOutOfMemory expected); then a clean second run on the
+/// SAME enactor, which must reproduce the golden signature with no
+/// accounting underflow.
+void midrun_oom_roundtrip(const char* name, const RunnerFactory& make,
+                          core::SyncMode mode) {
+  constexpr int kGpus = 2;
+  core::Config cfg = test::config_for(kGpus);
+  cfg.sync_mode = mode;
+  cfg.scheme = vgpu::AllocationScheme::kJustEnough;
+
+  auto golden_machine = test::test_machine(kGpus);
+  auto golden = make(golden_machine, cfg);
+  golden->reset();
+  golden->enact();
+  const auto want = golden->signature();
+
+  // Counting run: empty plan. The snapshot taken after build+reset
+  // separates setup-time allocations from run-time ones.
+  auto counting_machine = test::test_machine(kGpus);
+  vgpu::FaultInjector counting(vgpu::FaultPlan{}, kGpus);
+  counting_machine.set_fault_injector(&counting);
+  auto probe = make(counting_machine, cfg);
+  probe->reset();
+  std::uint64_t base[kGpus];
+  for (int d = 0; d < kGpus; ++d) base[d] = counting.alloc_events(d);
+  probe->enact();
+  int target = -1;
+  for (int d = 0; d < kGpus; ++d) {
+    if (counting.alloc_events(d) > base[d]) {
+      target = d;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0) << name
+                       << ": no run-time allocations under just-enough — "
+                          "the mid-run OOM scenario would be vacuous";
+
+  // Targeted run: every allocation on `target` from the run's first
+  // one onward fails (max_oom_regrows defaults to 0: no retry).
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kAllocTransient;
+  spec.device = target;
+  spec.at_event = base[target];
+  spec.count = 1u << 20;
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(kGpus);
+  vgpu::FaultInjector injector(plan, kGpus);
+  machine.set_fault_injector(&injector);
+  auto victim = make(machine, cfg);
+  victim->reset();
+  try {
+    victim->enact();
+    FAIL() << name << ": expected mid-run kOutOfMemory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kOutOfMemory) << name << ": " << e.what();
+  }
+  EXPECT_GT(injector.injected_count(), 0u) << name;
+
+  // Same enactor, injector gone: CommBus::reset() (and, in pipeline
+  // mode, HandshakeTable::abort() + reset()) must have left no stale
+  // epoch state behind.
+  machine.set_fault_injector(nullptr);
+  victim->reset();
+  const auto stats = victim->enact();
+  EXPECT_EQ(victim->signature(), want)
+      << name << ": recovered run diverged from fault-free";
+  EXPECT_EQ(stats.faults_injected, 0u) << name;
+  for (int d = 0; d < kGpus; ++d) {
+    EXPECT_EQ(machine.device(d).memory().underflow_count(), 0u)
+        << name << " gpu " << d;
+  }
+}
+
+TEST(FaultRecovery, MidrunOomAllPrimitivesBarrier) {
+  midrun_oom_roundtrip("bfs", make_bfs_runner, core::SyncMode::kBspBarrier);
+  midrun_oom_roundtrip("dobfs", make_dobfs_runner,
+                       core::SyncMode::kBspBarrier);
+  midrun_oom_roundtrip("sssp", make_sssp_runner,
+                       core::SyncMode::kBspBarrier);
+  midrun_oom_roundtrip("pagerank", make_pr_runner,
+                       core::SyncMode::kBspBarrier);
+  midrun_oom_roundtrip("cc", make_cc_runner, core::SyncMode::kBspBarrier);
+  midrun_oom_roundtrip("bc", make_bc_runner, core::SyncMode::kBspBarrier);
+}
+
+TEST(FaultRecovery, MidrunOomAllPrimitivesPipeline) {
+  midrun_oom_roundtrip("bfs", make_bfs_runner,
+                       core::SyncMode::kEventPipeline);
+  midrun_oom_roundtrip("dobfs", make_dobfs_runner,
+                       core::SyncMode::kEventPipeline);
+  midrun_oom_roundtrip("sssp", make_sssp_runner,
+                       core::SyncMode::kEventPipeline);
+  midrun_oom_roundtrip("pagerank", make_pr_runner,
+                       core::SyncMode::kEventPipeline);
+  midrun_oom_roundtrip("cc", make_cc_runner, core::SyncMode::kEventPipeline);
+  midrun_oom_roundtrip("bc", make_bc_runner, core::SyncMode::kEventPipeline);
+}
+
+// Grow-and-retry: a single transient allocation fault at the run's
+// first run-time allocation, with a regrow budget, must complete with
+// oom_regrows > 0 and fault-free-identical results.
+TEST(FaultRecovery, TransientOomRecoversViaRegrow) {
+  for (const auto mode :
+       {core::SyncMode::kBspBarrier, core::SyncMode::kEventPipeline}) {
+    constexpr int kGpus = 2;
+    core::Config cfg = test::config_for(kGpus);
+    cfg.sync_mode = mode;
+    cfg.scheme = vgpu::AllocationScheme::kJustEnough;
+    cfg.max_oom_regrows = 2;
+
+    auto golden_machine = test::test_machine(kGpus);
+    auto golden = make_bfs_runner(golden_machine, cfg);
+    golden->reset();
+    golden->enact();
+    const auto want = golden->signature();
+
+    auto counting_machine = test::test_machine(kGpus);
+    vgpu::FaultInjector counting(vgpu::FaultPlan{}, kGpus);
+    counting_machine.set_fault_injector(&counting);
+    auto probe = make_bfs_runner(counting_machine, cfg);
+    probe->reset();
+    const std::uint64_t base = counting.alloc_events(0);
+    probe->enact();
+    ASSERT_GT(counting.alloc_events(0), base);
+
+    // GPU 0's first run-time allocation is its iteration-0 core output
+    // queue: fail it once. The retry consumes the next site event, so
+    // the transient clears and the replayed superstep completes.
+    vgpu::FaultSpec spec;
+    spec.kind = vgpu::FaultKind::kAllocTransient;
+    spec.device = 0;
+    spec.at_event = base;
+    spec.count = 1;
+    vgpu::FaultPlan plan;
+    plan.specs.push_back(spec);
+    auto machine = test::test_machine(kGpus);
+    vgpu::FaultInjector injector(plan, kGpus);
+    machine.set_fault_injector(&injector);
+    auto runner = make_bfs_runner(machine, cfg);
+    runner->reset();
+    const auto stats = runner->enact();
+    EXPECT_GT(stats.oom_regrows, 0u);
+    EXPECT_EQ(stats.faults_injected, 1u);
+    EXPECT_EQ(runner->signature(), want)
+        << "regrow-recovered run diverged from fault-free";
+  }
+}
+
+// Transient transfer faults below the retry budget: the run completes,
+// charges backoff to the modeled comm timeline, and the results are
+// fault-free-identical.
+TEST(FaultRecovery, TransientTransferRetriesAndCompletes) {
+  constexpr int kGpus = 2;
+  core::Config cfg = test::config_for(kGpus);
+
+  auto golden_machine = test::test_machine(kGpus);
+  auto golden = make_bfs_runner(golden_machine, cfg);
+  golden->reset();
+  const auto golden_stats = golden->enact();
+  const auto want = golden->signature();
+
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kTransferTransient;
+  spec.device = 0;
+  spec.peer = 1;
+  spec.at_event = 0;
+  spec.count = 2;  // < Config::max_comm_retries (3)
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(kGpus);
+  vgpu::FaultInjector injector(plan, kGpus);
+  machine.set_fault_injector(&injector);
+  auto runner = make_bfs_runner(machine, cfg);
+  runner->reset();
+  const auto stats = runner->enact();
+  EXPECT_EQ(stats.comm_retries, 2u);
+  EXPECT_EQ(stats.faults_injected, 2u);
+  EXPECT_EQ(runner->signature(), want);
+  // The retries' modeled backoff is charged to the comm timeline.
+  EXPECT_GE(stats.modeled_comm_s, golden_stats.modeled_comm_s);
+}
+
+// Exhausting the transfer retry budget surfaces kUnavailable; the
+// enactor stays reusable.
+TEST(FaultRecovery, TransferRetryExhaustionSurfacesUnavailable) {
+  constexpr int kGpus = 2;
+  core::Config cfg = test::config_for(kGpus);
+
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kTransferTransient;
+  spec.device = 0;
+  spec.peer = 1;
+  spec.at_event = 0;
+  spec.count = 1u << 20;  // never clears within the budget
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(kGpus);
+  vgpu::FaultInjector injector(plan, kGpus);
+  machine.set_fault_injector(&injector);
+  auto runner = make_bfs_runner(machine, cfg);
+  runner->reset();
+  try {
+    runner->enact();
+    FAIL() << "expected retry exhaustion";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kUnavailable) << e.what();
+  }
+  machine.set_fault_injector(nullptr);
+  runner->reset();
+  EXPECT_NO_THROW(runner->enact());
+}
+
+// A swallowed handshake stalls the receiver; the watchdog must convert
+// the hang into kTimedOut through the regular error stop, and the
+// enactor must stay reusable.
+TEST(FaultRecovery, WatchdogConvertsHandshakeStallIntoTimedOut) {
+  constexpr int kGpus = 2;
+  core::Config cfg = test::config_for(kGpus);
+  cfg.sync_mode = core::SyncMode::kEventPipeline;
+  cfg.watchdog_deadline_s = 0.2;
+
+  auto golden_machine = test::test_machine(kGpus);
+  auto golden = make_bfs_runner(golden_machine, cfg);
+  golden->reset();
+  golden->enact();
+  const auto want = golden->signature();
+
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kHandshakeDrop;
+  spec.device = 0;
+  spec.peer = 1;
+  spec.at_event = 0;
+  spec.count = 1u << 20;
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(kGpus);
+  vgpu::FaultInjector injector(plan, kGpus);
+  machine.set_fault_injector(&injector);
+  auto runner = make_bfs_runner(machine, cfg);
+  runner->reset();
+  try {
+    runner->enact();
+    FAIL() << "expected watchdog timeout";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kTimedOut) << e.what();
+  }
+  machine.set_fault_injector(nullptr);
+  runner->reset();
+  const auto stats = runner->enact();
+  EXPECT_EQ(runner->signature(), want);
+  EXPECT_DOUBLE_EQ(stats.watchdog_deadline_s, 0.2);
+}
+
+// A permanent kernel fault marks the device lost; with
+// degrade_on_device_loss the facade re-enacts on n-1 vGPUs and still
+// produces correct results.
+TEST(FaultRecovery, DegradedReenactOnDeviceLoss) {
+  const auto g = test::small_rmat(7, 8);
+  const VertexT src = test::first_connected_vertex(g);
+  core::Config cfg = test::config_for(2);
+
+  auto golden_machine = test::test_machine(2);
+  const auto want = prim::run_bfs(g, src, golden_machine, cfg);
+
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kKernelFault;
+  spec.device = 1;
+  spec.at_event = 0;
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(2);
+  vgpu::FaultInjector injector(plan, 2);
+  machine.set_fault_injector(&injector);
+
+  // Without the flag: the loss surfaces as kUnavailable.
+  try {
+    prim::run_bfs(g, src, machine, cfg);
+    FAIL() << "expected device loss";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kUnavailable) << e.what();
+  }
+  EXPECT_EQ(injector.lost_device(), 1);
+
+  // With the flag: the facade acknowledges the loss and re-runs on one
+  // vGPU; the result matches the fault-free two-GPU run.
+  vgpu::FaultInjector injector2(plan, 2);
+  machine.set_fault_injector(&injector2);
+  cfg.degrade_on_device_loss = true;
+  const auto degraded = prim::run_bfs(g, src, machine, cfg);
+  EXPECT_EQ(degraded.labels, want.labels);
+  EXPECT_EQ(degraded.stats.degraded_reruns, 1u);
+  EXPECT_EQ(injector2.lost_device(), -1);  // loss acknowledged
+  machine.set_fault_injector(nullptr);
 }
 
 }  // namespace

@@ -84,5 +84,40 @@ TEST(StatsIo, RunStatsExportContainsEverything) {
   EXPECT_EQ(count, stats.iterations);
 }
 
+TEST(StatsIo, FaultRecoveryCountersRoundTrip) {
+  vgpu::RunStats stats;
+  stats.oom_regrows = 3;
+  stats.comm_retries = 5;
+  stats.faults_injected = 7;
+  stats.degraded_reruns = 1;
+  stats.watchdog_deadline_s = 0.25;
+  const std::string json = vgpu::run_stats_to_json(stats, {});
+  EXPECT_NE(json.find("\"oom_regrows\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"comm_retries\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"faults_injected\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_reruns\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_deadline_s\":0.25"), std::string::npos);
+}
+
+TEST(StatsIo, FaultFreeRunExportsZeroFaultCounters) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(2);
+  core::Config cfg;
+  cfg.num_gpus = 2;
+  prim::BfsProblem problem;
+  problem.init(g, machine, cfg);
+  prim::BfsEnactor enactor(problem);
+  enactor.reset(test::first_connected_vertex(g));
+  const auto stats = enactor.enact();
+  EXPECT_EQ(stats.oom_regrows, 0u);
+  EXPECT_EQ(stats.comm_retries, 0u);
+  EXPECT_EQ(stats.faults_injected, 0u);
+  EXPECT_EQ(stats.degraded_reruns, 0u);
+  const std::string json =
+      vgpu::run_stats_to_json(stats, enactor.iteration_records());
+  EXPECT_NE(json.find("\"oom_regrows\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"faults_injected\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mgg

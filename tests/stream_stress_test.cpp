@@ -298,5 +298,75 @@ TEST(StreamStress, DestructorDrainsQueue) {
   EXPECT_EQ(ran.load(), 500);
 }
 
+// Regression: destroying a stream whose worker was blocked inside
+// wait_event on a never-fired event used to deadlock the destructor's
+// join. Destruction must cancel the blocked wait, drain the remaining
+// queue, and join.
+TEST(StreamStress, DestructorReleasesWorkerBlockedInEventWait) {
+  std::atomic<int> ran{0};
+  {
+    vgpu::Stream stream("blocked-wait");
+    vgpu::Event never;  // nobody ever fires this
+    stream.wait_event(never);
+    stream.submit([&ran] { ran.fetch_add(1); });
+    // Give the worker time to actually block inside the wait, so the
+    // destructor exercises the cancel-a-parked-waiter path and not just
+    // the flag check at task start.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(ran.load(), 1) << "queued work behind the cancelled wait "
+                              "was lost";
+}
+
+// Injected-stall abort stressor: a fault injector swallows one
+// handshake publish, stranding the receiver in take(); a control
+// thread (standing in for the enactor watchdog) aborts the table,
+// which must release the stalled waiter — including the event wait it
+// queued on its compute stream — and let every worker finish.
+TEST(StreamStress, InjectedHandshakeStallAbortReleasesBlockedWaiters) {
+  constexpr int kGpus = 3;
+  auto machine = test::test_machine(kGpus);
+  core::HandshakeTable table(kGpus);
+
+  vgpu::FaultSpec drop;
+  drop.kind = vgpu::FaultKind::kHandshakeDrop;
+  drop.device = 0;  // the 0 -> 1 link's first publish is swallowed
+  drop.peer = 1;
+  drop.at_event = 0;
+  drop.count = 1;
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(drop);
+  vgpu::FaultInjector injector(plan, kGpus);
+  table.set_fault_injector(&injector);
+
+  std::atomic<int> released{0};
+  std::vector<std::thread> workers;
+  for (int g = 0; g < kGpus; ++g) {
+    workers.emplace_back([&, g] {
+      vgpu::Device& dev = machine.device(g);
+      for (int peer = 0; peer < kGpus; ++peer) {
+        if (peer == g) continue;
+        table.publish(g, peer, 0, dev.comm_stream().record_event());
+      }
+      for (int src = 0; src < kGpus; ++src) {
+        if (src == g) continue;
+        dev.compute_stream().wait_event(table.take(src, g, 0));
+        dev.compute_stream().synchronize();
+      }
+      released.fetch_add(1);
+    });
+  }
+  // GPU 1 is stalled in take(0, 1, 0) — its sender's publish was
+  // dropped. After a grace period the "watchdog" aborts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(injector.injected_count(), 1u);
+  table.abort();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(released.load(), kGpus);
+  table.set_fault_injector(nullptr);
+  table.reset();
+  EXPECT_FALSE(table.aborted());
+}
+
 }  // namespace
 }  // namespace mgg

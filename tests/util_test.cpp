@@ -27,6 +27,23 @@ TEST(Error, CheckMacroThrowsWithStatus) {
   }
 }
 
+TEST(Error, FaultRecoveryStatusCodesHaveNamesAndPropagate) {
+  EXPECT_EQ(to_string(Status::kTimedOut), "timed_out");
+  EXPECT_EQ(to_string(Status::kUnavailable), "unavailable");
+  try {
+    throw Error(Status::kTimedOut, "watchdog deadline");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kTimedOut);
+    EXPECT_NE(std::string(e.what()).find("watchdog deadline"),
+              std::string::npos);
+  }
+  try {
+    throw Error(Status::kUnavailable, "device lost");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kUnavailable);
+  }
+}
+
 TEST(Error, RequireAndAssertCategories) {
   EXPECT_THROW(MGG_REQUIRE(false, "bad arg"), Error);
   EXPECT_THROW(MGG_ASSERT(false, "bug"), Error);
