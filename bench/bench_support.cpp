@@ -30,6 +30,11 @@ std::string g_trace_path;
 // plan. The armed plan is printed once so a red run names its seed.
 std::string g_fault_plan;
 std::uint64_t g_fault_seed = 0;
+// Armed by parse_common(--wire-format=raw|bitmap|varint|auto): every
+// run_primitive() call applies it to the Config, overriding the
+// caller's wire_format. Default raw keeps every golden byte-identical.
+core::WireFormat g_wire_format = core::WireFormat::kRawIds;
+bool g_wire_format_set = false;
 }  // namespace
 
 VertexT pick_source(const graph::Graph& g) {
@@ -83,6 +88,7 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
                       double workload_scale) {
   auto machine = vgpu::Machine::create(gpu_model, config.num_gpus);
   machine.set_workload_scale(workload_scale);
+  if (g_wire_format_set) config.wire_format = g_wire_format;
   std::unique_ptr<vgpu::Tracer> tracer;
   std::string trace_path;
   if (!g_trace_path.empty()) {
@@ -144,13 +150,21 @@ std::vector<std::string> suite_datasets(const std::string& suite) {
 util::Options parse_common(int argc, char** argv,
                            std::initializer_list<std::string_view> extra) {
   util::Options options(argc, argv);
-  std::vector<std::string_view> known = {"suite", "seed", "csv", "trace",
-                                         "fault-plan", "fault-seed"};
+  std::vector<std::string_view> known = {"suite",      "seed",
+                                         "csv",        "trace",
+                                         "fault-plan", "fault-seed",
+                                         "wire-format"};
   known.insert(known.end(), extra.begin(), extra.end());
   options.check_unknown(known);
   g_trace_path = options.get_string("trace", "");
   g_fault_plan = options.get_string("fault-plan", "");
   g_fault_seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 0));
+  const std::string wire = options.get_string("wire-format", "");
+  g_wire_format_set = !wire.empty();
+  if (g_wire_format_set) {
+    g_wire_format = core::parse_wire_format(wire);  // throws on typos
+    std::fprintf(stderr, "[wire] format override: %s\n", wire.c_str());
+  }
   if (!g_fault_plan.empty() || g_fault_seed != 0) {
     std::fprintf(stderr, "[fault] injection armed: %s\n",
                  g_fault_plan.empty()

@@ -10,6 +10,9 @@
 //   --fault-plan=SPEC           run under a deterministic fault plan
 //                               (FaultPlan::parse syntax)
 //   --fault-seed=N              ... or one derived from a seed (N != 0)
+//   --wire-format=F             frontier-push wire format for every run:
+//                               raw | bitmap | varint | auto
+//                               (core::parse_wire_format; default raw)
 // plus binary-specific flags documented in each main().
 #pragma once
 

@@ -103,6 +103,51 @@ bool check_comm_volume_goldens() {
   return ok;
 }
 
+// Compressed wire formats must shrink H's byte footprint without
+// moving anything else: same results, same item counts, strictly
+// fewer bytes. Runs the primitives directly (not run_primitive) so a
+// --wire-format override cannot silently turn both sides into the
+// same format.
+bool check_compressed_formats() {
+  using namespace mgg;
+  bool ok = true;
+  const auto ds = graph::build_dataset("rmat_n22_128", /*seed=*/1);
+  const VertexT src = bench::pick_source(ds.graph);
+  for (const int gpus : {4, 8}) {
+    auto cfg_raw = bench::config_for_primitive("bfs", gpus, 1);
+    cfg_raw.wire_format = core::WireFormat::kRawIds;
+    auto cfg_auto = cfg_raw;
+    cfg_auto.wire_format = core::WireFormat::kAuto;
+    auto m_raw = vgpu::Machine::create("k40", gpus);
+    auto m_auto = vgpu::Machine::create("k40", gpus);
+    const auto raw = prim::run_bfs(ds.graph, src, m_raw, cfg_raw);
+    const auto comp = prim::run_bfs(ds.graph, src, m_auto, cfg_auto);
+    const bool same_results = raw.labels == comp.labels;
+    const bool same_items =
+        raw.stats.total_comm_items == comp.stats.total_comm_items &&
+        raw.stats.total_edges == comp.stats.total_edges &&
+        raw.stats.iterations == comp.stats.iterations;
+    const bool fewer_bytes =
+        comp.stats.total_comm_bytes < raw.stats.total_comm_bytes;
+    if (!(same_results && same_items && fewer_bytes)) {
+      ok = false;
+      std::fprintf(stderr,
+                   "WIRE MISMATCH bfs @%d GPUs: results %s, items %s, "
+                   "bytes raw=%llu auto=%llu\n",
+                   gpus, same_results ? "match" : "DIFFER",
+                   same_items ? "match" : "DIFFER",
+                   static_cast<unsigned long long>(
+                       raw.stats.total_comm_bytes),
+                   static_cast<unsigned long long>(
+                       comp.stats.total_comm_bytes));
+    }
+  }
+  std::printf("compressed wire formats (bfs, 4+8 GPUs: identical "
+              "results/items, fewer bytes): %s\n",
+              ok ? "pass" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +157,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
 
   if (!check_comm_volume_goldens()) return 1;
+  if (!check_compressed_formats()) return 1;
 
   const auto ds = graph::build_dataset("rmat_n22_128", seed);
   const double scale = bench::dataset_scale(ds);

@@ -151,7 +151,8 @@ std::vector<ValueT> cpu_widest(const graph::Graph& g, VertexT src) {
 
 int main(int argc, char** argv) {
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "scale", "trace", "fault-plan", "fault-seed"});
+  options.check_unknown({"gpus", "scale", "trace", "fault-plan",
+                         "fault-seed", "wire-format"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 11));
   const std::string trace_path = options.get_string("trace", "");
@@ -175,6 +176,8 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;
   config.num_gpus = gpus;
+  config.wire_format =
+      core::parse_wire_format(options.get_string("wire-format", "raw"));
 
   WidestPathProblem problem;
   problem.init(g, machine, config);

@@ -22,7 +22,8 @@
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "scale", "edge-factor", "trace", "fault-plan", "fault-seed"});
+  options.check_unknown({"gpus", "scale", "edge-factor", "trace",
+                         "fault-plan", "fault-seed", "wire-format"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 12));
   const double edge_factor = options.get_double("edge-factor", 16);
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
   core::Config config;
   config.num_gpus = gpus;
   config.mark_predecessors = true;
+  config.wire_format =
+      core::parse_wire_format(options.get_string("wire-format", "raw"));
 
   // 4. Run BFS from vertex 0.
   const auto result = prim::run_bfs(g, /*src=*/0, machine, config);

@@ -44,7 +44,8 @@ void print_top(const char* title, const std::vector<mgg::ValueT>& score,
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "vertices", "epv", "trace", "fault-plan", "fault-seed"});
+  options.check_unknown({"gpus", "vertices", "epv", "trace",
+                         "fault-plan", "fault-seed", "wire-format"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto vertices =
       static_cast<VertexT>(options.get_int("vertices", 20000));
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) machine.set_tracer(&tracer);
   core::Config config;
   config.num_gpus = gpus;
+  config.wire_format =
+      core::parse_wire_format(options.get_string("wire-format", "raw"));
 
   // --- 1. Influence: PageRank. ---
   prim::PagerankOptions pr_options;

@@ -23,7 +23,10 @@
 int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
-  options.check_unknown({"gpus", "hosts", "pages", "trace", "fault-plan", "fault-seed"});
+  options.check_unknown({"gpus", "hosts", "pages", "trace",
+                         "fault-plan", "fault-seed", "wire-format"});
+  const core::WireFormat wire_format =
+      core::parse_wire_format(options.get_string("wire-format", "raw"));
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto hosts = static_cast<VertexT>(options.get_int("hosts", 400));
   const auto pages = static_cast<VertexT>(options.get_int("pages", 64));
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
     core::Config config;
     config.num_gpus = gpus;
     config.partitioner = partitioner;
+    config.wire_format = wire_format;
     const auto pr = prim::run_pagerank(g, machine, config);
     std::printf("PageRank [%7s partitioner]: %.2f ms modeled, "
                 "%llu vertices communicated\n",
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   // --- Rank pages and traverse from the top one. ---
   core::Config config;
   config.num_gpus = gpus;
+  config.wire_format = wire_format;
   const auto pr = prim::run_pagerank(g, machine, config);
   const auto top = static_cast<VertexT>(
       std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin());

@@ -34,8 +34,20 @@ echo "==> chaos + fault-recovery suites (explicit)"
 "$BUILD/tests/mgg_tests" \
   --gtest_filter='Chaos.*:ChaosTsan.*:FaultRecovery.*:FaultInjection.*'
 
+echo "==> wire-format differential + adversarial suite (explicit)"
+# Bit-identical results/frontiers across {raw, bitmap, varint, auto}
+# x {BSP, pipeline} x 1-8 vGPUs, the encoder fallback chain, and the
+# corrupt-payload rejections.
+"$BUILD/tests/mgg_tests" --gtest_filter='WireFormat.*'
+
 echo "==> micro_comm acceptance gate"
 "$BUILD/bench/micro_comm"
+
+echo "==> micro_wire acceptance gate"
+# Compressed frontier pushes: >= 30% modeled byte reduction under
+# kAuto at 4 vGPUs with both codecs exercised, results bit-identical
+# to raw in both sync modes. Modeled bytes only — no wall-clock gate.
+"$BUILD/bench/micro_wire"
 
 echo "==> micro_faults acceptance gate (writes BENCH_faults.json)"
 # Non-vacuous recovery gates: grow-and-retry completes a just-enough
@@ -69,6 +81,9 @@ TSAN_FILTER+=':FaultRecovery.*:ChaosTsan.*'
 # (tracer buffers are written from stream workers and drained from the
 # barrier-completion thread).
 TSAN_FILTER+=':CostModel.*:Trace.*'
+# Wire codecs run on the sender/receiver threads (encode at package
+# time, decode inside drain) and bump the CommBus wire-stats atomics.
+TSAN_FILTER+=':WireFormat.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

@@ -1,6 +1,7 @@
 #include "core/comm.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/error.hpp"
 #include "vgpu/fault.hpp"
@@ -22,6 +23,244 @@ std::string to_string(SyncMode m) {
   }
   return "unknown";
 }
+
+std::string to_string(WireFormat f) {
+  switch (f) {
+    case WireFormat::kRawIds: return "raw";
+    case WireFormat::kBitmap: return "bitmap";
+    case WireFormat::kDeltaVarint: return "varint";
+    case WireFormat::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+WireFormat parse_wire_format(const std::string& text) {
+  if (text == "raw" || text == "raw_ids") return WireFormat::kRawIds;
+  if (text == "bitmap") return WireFormat::kBitmap;
+  if (text == "varint" || text == "delta_varint") {
+    return WireFormat::kDeltaVarint;
+  }
+  if (text == "auto") return WireFormat::kAuto;
+  throw Error(Status::kInvalidArgument,
+              "unknown wire format '" + text +
+                  "' (expected raw | bitmap | varint | auto)");
+}
+
+namespace wire {
+namespace {
+
+/// Zigzag map: signed delta -> unsigned varint payload, small
+/// magnitudes (either sign) to small codes.
+inline std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+inline void put_varint(util::PodVector<std::uint8_t>& out,
+                       std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// LEB128 read with bounds checking; throws kInternal on truncation or
+/// a >10-byte (i.e. corrupt) code.
+inline std::uint64_t get_varint(const std::uint8_t* data, std::size_t size,
+                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    MGG_CHECK(pos < size, Status::kInternal,
+              "wire: truncated varint payload");
+    MGG_CHECK(shift < 64, Status::kInternal, "wire: varint overflows u64");
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+inline void put_u32(util::PodVector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* data, std::size_t size,
+                             std::size_t& pos) {
+  MGG_CHECK(pos + 4 <= size, Status::kInternal,
+            "wire: truncated bitmap header");
+  const std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                          static_cast<std::uint32_t>(data[pos + 1]) << 8 |
+                          static_cast<std::uint32_t>(data[pos + 2]) << 16 |
+                          static_cast<std::uint32_t>(data[pos + 3]) << 24;
+  pos += 4;
+  return v;
+}
+
+bool strictly_ascending(const util::PodVector<VertexT>& v) noexcept {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Bitmap layout: [u32 n_items][u32 n_words][n_words * 8-byte LE words]
+/// over the [0, max_id] ID range. Lossless only for strictly ascending
+/// input (decode emits set bits in ascending order) — the caller
+/// checked that.
+void encode_bitmap(Message& msg) {
+  const std::size_t n = msg.vertices.size();
+  const std::uint64_t max_id = msg.vertices[n - 1];  // ascending: last
+  const std::uint64_t n_words = max_id / 64 + 1;
+  msg.wire.clear();
+  msg.wire.reserve(8 + n_words * 8);
+  put_u32(msg.wire, static_cast<std::uint32_t>(n));
+  put_u32(msg.wire, static_cast<std::uint32_t>(n_words));
+  const std::size_t base = msg.wire.size();
+  msg.wire.resize(base + n_words * 8);
+  std::fill(msg.wire.begin() + static_cast<std::ptrdiff_t>(base),
+            msg.wire.end(), std::uint8_t{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t id = msg.vertices[i];
+    msg.wire[base + (id / 64) * 8 + (id % 64) / 8] |=
+        static_cast<std::uint8_t>(1u << (id % 8));
+  }
+}
+
+/// Delta-varint layout: [varint n][zigzag(v[i] - v[i-1]) varints],
+/// previous starting at 0. Order-preserving for arbitrary sequences.
+void encode_delta_varint(Message& msg) {
+  const std::size_t n = msg.vertices.size();
+  msg.wire.clear();
+  // Ascending dense runs collapse to 1 byte/vertex; reserve for that
+  // common case and let push_back grow on adversarial input.
+  msg.wire.reserve(10 + n * 2);
+  put_varint(msg.wire, n);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t cur = static_cast<std::int64_t>(msg.vertices[i]);
+    put_varint(msg.wire, zigzag(cur - prev));
+    prev = cur;
+  }
+}
+
+}  // namespace
+
+WireFormat encode(Message& msg, WireFormat requested,
+                  double density_threshold, std::size_t universe) {
+  if (requested == WireFormat::kRawIds || msg.vertices.empty()) {
+    return WireFormat::kRawIds;
+  }
+  MGG_REQUIRE(msg.encoding == WireFormat::kRawIds,
+              "wire::encode on an already-encoded message");
+  const std::size_t n = msg.vertices.size();
+  const std::size_t raw_bytes = n * sizeof(VertexT);
+  const bool ascending = strictly_ascending(msg.vertices);
+
+  WireFormat pick = requested;
+  if (pick == WireFormat::kAuto) {
+    // Density heuristic: a bitmap over the receiver's hosted-vertex
+    // range pays off when the bucket covers at least
+    // density_threshold of it — and is admissible only when the
+    // sequence is ascending (dense-frontier advances emit ascending,
+    // so dense supersteps qualify exactly when compression pays).
+    const bool dense =
+        universe > 0 &&
+        static_cast<double>(n) >=
+            density_threshold * static_cast<double>(universe);
+    pick = (dense && ascending) ? WireFormat::kBitmap
+                                : WireFormat::kDeltaVarint;
+  }
+  if (pick == WireFormat::kBitmap) {
+    // Bitmap decode yields ascending order; a non-ascending sequence
+    // would be reordered (or, with duplicates, lose items). Fall back
+    // to the order-preserving format instead of silently corrupting.
+    if (!ascending) {
+      pick = WireFormat::kDeltaVarint;
+    } else {
+      const std::uint64_t n_words =
+          static_cast<std::uint64_t>(msg.vertices[n - 1]) / 64 + 1;
+      if (8 + n_words * 8 >= raw_bytes) pick = WireFormat::kDeltaVarint;
+    }
+  }
+  if (pick == WireFormat::kBitmap) {
+    encode_bitmap(msg);
+  } else {
+    encode_delta_varint(msg);
+  }
+  if (msg.wire.size() >= raw_bytes) {
+    // Compression would inflate the payload (sparse adversarial
+    // sequences with large alternating deltas); ship raw.
+    msg.wire.clear();
+    return WireFormat::kRawIds;
+  }
+  msg.encoding = pick;
+  msg.wire_items = n;
+  msg.vertices.clear();
+  return pick;
+}
+
+void decode(Message& msg) {
+  if (msg.encoding == WireFormat::kRawIds) return;
+  const std::size_t n = msg.wire_items;
+  const std::uint8_t* data = msg.wire.data();
+  const std::size_t size = msg.wire.size();
+  std::size_t pos = 0;
+  msg.vertices.resize(n);
+  if (msg.encoding == WireFormat::kBitmap) {
+    const std::uint32_t n_items = get_u32(data, size, pos);
+    const std::uint32_t n_words = get_u32(data, size, pos);
+    MGG_CHECK(n_items == n, Status::kInternal,
+              "wire: bitmap header item count mismatch");
+    MGG_CHECK(pos + static_cast<std::size_t>(n_words) * 8 == size,
+              Status::kInternal, "wire: bitmap payload size mismatch");
+    std::size_t out = 0;
+    for (std::uint32_t w = 0; w < n_words; ++w) {
+      std::uint64_t word = 0;
+      for (int b = 0; b < 8; ++b) {
+        word |= static_cast<std::uint64_t>(data[pos + b]) << (b * 8);
+      }
+      pos += 8;
+      const std::uint64_t word_base = static_cast<std::uint64_t>(w) * 64;
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        MGG_CHECK(out < n, Status::kInternal,
+                  "wire: bitmap has more set bits than items");
+        msg.vertices[out++] = static_cast<VertexT>(word_base + bit);
+        word &= word - 1;
+      }
+    }
+    MGG_CHECK(out == n, Status::kInternal,
+              "wire: bitmap has fewer set bits than items");
+  } else {
+    const std::uint64_t n_header = get_varint(data, size, pos);
+    MGG_CHECK(n_header == n, Status::kInternal,
+              "wire: varint header item count mismatch");
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      prev += unzigzag(get_varint(data, size, pos));
+      MGG_CHECK(prev >= 0 && prev <= 0xFFFFFFFFll, Status::kInternal,
+                "wire: decoded vertex out of VertexT range");
+      msg.vertices[i] = static_cast<VertexT>(prev);
+    }
+    MGG_CHECK(pos == size, Status::kInternal,
+              "wire: trailing bytes after varint payload");
+  }
+  msg.encoding = WireFormat::kRawIds;
+  msg.wire.clear();
+  msg.wire_items = 0;
+}
+
+}  // namespace wire
 
 CommBus::CommBus(vgpu::Machine& machine)
     : machine_(&machine),
@@ -104,14 +343,24 @@ void CommBus::push(int src, int dst, Message message) {
                               std::to_string(attempt) + " retries");
             }
             // Modeled exponential backoff, charged below as part of
-            // this transfer's comm-timeline occupancy.
-            backoff_s += base * static_cast<double>(1ULL << attempt);
+            // this transfer's comm-timeline occupancy. The exponent is
+            // clamped (1 << attempt is UB at attempt >= 64 and the
+            // modeled seconds explode long before that) and the total
+            // is capped so a high retry bound models a saturated
+            // retry loop, not astronomical time.
+            static constexpr int kMaxBackoffExponent = 20;
+            static constexpr double kBackoffTotalCapFactor =
+                static_cast<double>(1ULL << 22);
+            const int exponent = std::min(attempt, kMaxBackoffExponent);
+            backoff_s = std::min(
+                backoff_s + base * static_cast<double>(1ULL << exponent),
+                base * kBackoffTotalCapFactor);
             ++attempt;
             comm_retries_.fetch_add(1, std::memory_order_relaxed);
           }
         }
         const std::size_t bytes = msg.payload_bytes();
-        const std::size_t items = msg.vertices.size();
+        const std::size_t items = msg.size();
         const double seconds =
             machine_->interconnect().transfer_seconds(src, dst, bytes) *
                 slowdown +
@@ -119,6 +368,24 @@ void CommBus::push(int src, int dst, Message message) {
         machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s,
                                             "push", dst);
         machine_->interconnect().record_transfer(bytes);
+        switch (msg.encoding) {
+          case WireFormat::kBitmap:
+            wire_bytes_bitmap_.fetch_add(bytes, std::memory_order_relaxed);
+            break;
+          case WireFormat::kDeltaVarint:
+            wire_bytes_delta_.fetch_add(bytes, std::memory_order_relaxed);
+            break;
+          default:
+            wire_bytes_raw_.fetch_add(bytes, std::memory_order_relaxed);
+            break;
+        }
+        // Counted per *pushed* message, not per wire::encode call: a
+        // broadcast proto is encoded once but cloned to every peer,
+        // and each clone is decoded on its receiver — counting here
+        // keeps encoded_vertices == decoded_vertices exact.
+        if (msg.encoding != WireFormat::kRawIds) {
+          wire_encoded_.fetch_add(items, std::memory_order_relaxed);
+        }
         {
           std::lock_guard<std::mutex> lock(locks_[dst]);
           inboxes_[dst].push_back(std::move(msg));
@@ -150,7 +417,26 @@ std::vector<Message>& CommBus::drain(int dst) {
               return a.src_gpu != b.src_gpu ? a.src_gpu < b.src_gpu
                                             : a.tag < b.tag;
             });
+  decode_batch(dst, drained_[dst]);
   return drained_[dst];
+}
+
+void CommBus::decode_batch(int dst, std::vector<Message>& batch) {
+  for (Message& msg : batch) {
+    if (msg.encoding == WireFormat::kRawIds) continue;
+    const char* name = msg.encoding == WireFormat::kBitmap
+                           ? "wire_decode_bitmap"
+                           : "wire_decode_varint";
+    const std::size_t n = msg.size();
+    wire::decode(msg);
+    // Modeled decode kernel: one launch touching n vertices, charged
+    // to the receiver's compute timeline alongside the combine work it
+    // feeds. Identical across sync modes — per-batch and per-sender
+    // drains decode the same message set exactly once.
+    machine_->device(dst).add_kernel_cost(0, n, 1, 1.0, name,
+                                          vgpu::TraceCategory::kCombine);
+    wire_decoded_.fetch_add(n, std::memory_order_relaxed);
+  }
 }
 
 std::vector<Message>& CommBus::drain_from(int dst, int src) {
@@ -188,6 +474,7 @@ std::vector<Message>& CommBus::drain_from(int dst, int src) {
   // gets from its full-inbox sort.
   std::sort(batch.begin(), batch.end(),
             [](const Message& a, const Message& b) { return a.tag < b.tag; });
+  decode_batch(dst, batch);
   return batch;
 }
 

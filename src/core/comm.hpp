@@ -67,6 +67,46 @@ enum class SyncMode {
 
 std::string to_string(SyncMode m);
 
+/// Wire format of a message's vertex array (the ROADMAP's "compressed
+/// communication" item; cf. the GPU-cluster BFS line of work,
+/// arXiv:1803.03922, and ButterFly BFS, arXiv:2103.13577). H is the
+/// paper's #1 scalability limiter, and raw 32-bit IDs are the
+/// dominant share of most pushes; the compressed formats trade a
+/// modeled encode/decode kernel (charged to W) for fewer bytes on the
+/// wire.
+///
+/// Both compressed formats are **order-preserving lossless**: decode
+/// reconstructs the exact vertex sequence the packager produced, so
+/// results, frontiers, and all W/H *item* counts stay bit-identical to
+/// kRawIds — only bytes-on-wire and the encode/decode kernel charges
+/// differ. Associate payloads always travel raw (they are values, not
+/// IDs).
+enum class WireFormat : std::uint8_t {
+  /// Raw receiver-local vertex IDs, 4 bytes each (the historical
+  /// layout; the default — H bytes bit-identical to every prior run).
+  kRawIds,
+  /// Dense |universe|-bit bitmap. Selected only when the vertex
+  /// sequence is already strictly ascending (a dense-frontier advance
+  /// emits in ascending order, so dense supersteps qualify exactly
+  /// when compression pays), because bitmap decode yields ascending
+  /// order and the encoding must be order-lossless.
+  kBitmap,
+  /// Zigzag-encoded deltas between consecutive IDs, LEB128-varint
+  /// packed. Handles arbitrary (non-monotone) emission order; the
+  /// ascending runs produced by dense advances collapse to 1-byte
+  /// deltas.
+  kDeltaVarint,
+  /// Config-only policy value: pick per message by the density
+  /// heuristic (bucket size vs the receiver's hosted-vertex count).
+  /// Messages on the wire never carry kAuto.
+  kAuto,
+};
+
+std::string to_string(WireFormat f);
+/// Parse "raw" / "bitmap" / "varint" (or "delta_varint") / "auto".
+/// Throws Error(kInvalidArgument) on anything else.
+WireFormat parse_wire_format(const std::string& text);
+
 struct Message {
   int src_gpu = -1;
   /// Primitive-defined discriminator for primitives that exchange more
@@ -88,9 +128,21 @@ struct Message {
   /// Flat slot-major ValueT associates (e.g. distances, ranks):
   /// `value_slots * vertices.size()` entries.
   util::PodVector<ValueT> value_assoc;
+  /// Wire format of the vertex array. kRawIds: `vertices` holds the
+  /// payload and `wire` is empty. Compressed: `wire` holds the encoded
+  /// bytes, `vertices` is empty (the pool carries encoded size, not
+  /// raw), and `wire_items` remembers the vertex count for H-item
+  /// accounting. Associates are indexed by decoded position either
+  /// way.
+  WireFormat encoding = WireFormat::kRawIds;
+  util::PodVector<std::uint8_t> wire;
+  std::size_t wire_items = 0;
 
-  bool empty() const noexcept { return vertices.empty(); }
-  std::size_t size() const noexcept { return vertices.size(); }
+  bool empty() const noexcept { return size() == 0; }
+  /// Vertex count regardless of representation (H items).
+  std::size_t size() const noexcept {
+    return encoding == WireFormat::kRawIds ? vertices.size() : wire_items;
+  }
 
   /// Size the message for `n` vertices with the given associate slot
   /// counts. Resizes within retained capacity on pooled messages, so
@@ -135,6 +187,9 @@ struct Message {
     vertices = other.vertices;
     vertex_assoc = other.vertex_assoc;
     value_assoc = other.value_assoc;
+    encoding = other.encoding;
+    wire = other.wire;
+    wire_items = other.wire_items;
   }
 
   /// Empty the message but keep every buffer's capacity (pool reuse).
@@ -146,16 +201,58 @@ struct Message {
     vertices.clear();
     vertex_assoc.clear();
     value_assoc.clear();
+    encoding = WireFormat::kRawIds;
+    wire.clear();
+    wire_items = 0;
   }
 
-  /// Bytes on the wire: the communication volume H in bytes. Identical
-  /// to the nested layout's accounting — the flat arrays hold exactly
-  /// `slots * n` entries of each associate kind.
+  /// Bytes on the wire: the communication volume H in bytes. The
+  /// vertex share is the *encoded* size when a compressed format is in
+  /// effect — the modeled transfer, the Interconnect accounting, and
+  /// the pooled buffers all carry the encoded bytes. Associates are
+  /// always raw: exactly `slots * size()` entries of each kind.
   std::size_t payload_bytes() const noexcept {
-    return vertices.size() * sizeof(VertexT) +
-           vertex_assoc.size() * sizeof(VertexT) +
+    const std::size_t vertex_bytes = encoding == WireFormat::kRawIds
+                                         ? vertices.size() * sizeof(VertexT)
+                                         : wire.size();
+    return vertex_bytes + vertex_assoc.size() * sizeof(VertexT) +
            value_assoc.size() * sizeof(ValueT);
   }
+};
+
+namespace wire {
+
+/// Encode `msg.vertices` in place per `requested` (kAuto applies the
+/// density heuristic: bitmap when the bucket holds at least
+/// `density_threshold * universe` vertices *and* is strictly
+/// ascending, delta-varint otherwise). `universe` is the receiver's
+/// hosted-vertex count (the bitmap's ID space and the heuristic's
+/// denominator). Falls back format by format — bitmap -> delta-varint
+/// -> raw — whenever an encoding would be lossy (bitmap over a
+/// non-ascending sequence) or would *grow* the payload, so a
+/// compressed message is never larger than its raw form. Returns the
+/// format actually applied; the caller charges the encode kernel when
+/// it is not kRawIds. Deterministic: a pure function of the vertex
+/// sequence and the arguments.
+WireFormat encode(Message& msg, WireFormat requested,
+                  double density_threshold, std::size_t universe);
+
+/// Restore `msg.vertices` from `msg.wire` (exact original sequence)
+/// and reset the message to kRawIds. No-op on raw messages. Throws
+/// Error(kInternal) on a corrupt wire payload.
+void decode(Message& msg);
+
+}  // namespace wire
+
+/// Cumulative wire-format accounting (monotone across runs; the
+/// enactor snapshots around enact() to fill the per-run RunStats
+/// fields).
+struct WireStats {
+  std::uint64_t bytes_raw = 0;     ///< payload bytes pushed as kRawIds
+  std::uint64_t bytes_bitmap = 0;  ///< payload bytes pushed as kBitmap
+  std::uint64_t bytes_delta = 0;   ///< payload bytes pushed as kDeltaVarint
+  std::uint64_t encoded_vertices = 0;  ///< vertices through wire::encode
+  std::uint64_t decoded_vertices = 0;  ///< vertices through wire::decode
 };
 
 class CommBus {
@@ -231,7 +328,30 @@ class CommBus {
     return comm_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative per-format wire accounting (bytes split by the format
+  /// each delivered payload traveled in; encoded/decoded vertex
+  /// totals). Monotone, like comm_retries(): the enactor snapshots
+  /// before/after enact() for the per-run RunStats fields. Invariant:
+  /// bytes_raw + bytes_bitmap + bytes_delta == total payload bytes
+  /// pushed (RunStats::total_comm_bytes for a single run's delta).
+  WireStats wire_stats() const noexcept {
+    WireStats w;
+    w.bytes_raw = wire_bytes_raw_.load(std::memory_order_relaxed);
+    w.bytes_bitmap = wire_bytes_bitmap_.load(std::memory_order_relaxed);
+    w.bytes_delta = wire_bytes_delta_.load(std::memory_order_relaxed);
+    w.encoded_vertices = wire_encoded_.load(std::memory_order_relaxed);
+    w.decoded_vertices = wire_decoded_.load(std::memory_order_relaxed);
+    return w;
+  }
+
  private:
+  /// Decode every compressed message in a drained batch back to raw
+  /// IDs (transparently to the combine path), charging the modeled
+  /// decode kernel to the *receiver* — the W-vs-H tradeoff lands where
+  /// the work runs. Called under no lock: the batch is thread-local to
+  /// the receiver after drain()/drain_from().
+  void decode_batch(int dst, std::vector<Message>& batch);
+
   vgpu::Machine* machine_;
   /// Run stamp; pushes submitted under an older epoch are dropped at
   /// delivery time (second line of defense behind reset()'s stream
@@ -246,6 +366,11 @@ class CommBus {
   std::atomic<int> max_retries_{3};
   std::atomic<double> backoff_base_s_{50e-6};
   std::atomic<std::uint64_t> comm_retries_{0};
+  std::atomic<std::uint64_t> wire_bytes_raw_{0};
+  std::atomic<std::uint64_t> wire_bytes_bitmap_{0};
+  std::atomic<std::uint64_t> wire_bytes_delta_{0};
+  std::atomic<std::uint64_t> wire_encoded_{0};
+  std::atomic<std::uint64_t> wire_decoded_{0};
 };
 
 }  // namespace mgg::core

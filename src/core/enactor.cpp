@@ -164,6 +164,7 @@ vgpu::RunStats EnactorBase::enact() {
   oom_regrows_.store(0, std::memory_order_relaxed);
   progress_.store(0, std::memory_order_relaxed);
   const std::uint64_t comm_retry_base = bus_->comm_retries();
+  const WireStats wire_base = bus_->wire_stats();
   const std::uint64_t fault_base =
       injector != nullptr ? injector->injected_count() : 0;
   run_stats_.watchdog_deadline_s = cfg.watchdog_deadline_s;
@@ -225,6 +226,18 @@ vgpu::RunStats EnactorBase::enact() {
   }
   run_stats_.oom_regrows = oom_regrows_.load(std::memory_order_relaxed);
   run_stats_.comm_retries = bus_->comm_retries() - comm_retry_base;
+  {
+    const WireStats wire_now = bus_->wire_stats();
+    run_stats_.wire_bytes_raw = wire_now.bytes_raw - wire_base.bytes_raw;
+    run_stats_.wire_bytes_bitmap =
+        wire_now.bytes_bitmap - wire_base.bytes_bitmap;
+    run_stats_.wire_bytes_delta =
+        wire_now.bytes_delta - wire_base.bytes_delta;
+    run_stats_.wire_encode_vertices =
+        wire_now.encoded_vertices - wire_base.encoded_vertices;
+    run_stats_.wire_decode_vertices =
+        wire_now.decoded_vertices - wire_base.decoded_vertices;
+  }
   if (injector != nullptr) {
     run_stats_.faults_injected = injector->injected_count() - fault_base;
   }
@@ -662,6 +675,27 @@ SizeT EnactorBase::route_output_frontier(Slice& s) {
       });
 }
 
+void EnactorBase::encode_for_wire(Slice& s, Message& msg,
+                                  std::size_t universe) {
+  const Config& cfg = problem_.config();
+  if (cfg.wire_format == WireFormat::kRawIds || msg.empty()) return;
+  const std::size_t n = msg.vertices.size();
+  const WireFormat applied = wire::encode(
+      msg, cfg.wire_format, cfg.wire_density_threshold, universe);
+  if (applied == WireFormat::kRawIds) return;
+  // Modeled encode kernel on the sender's compute timeline: the
+  // W-vs-H tradeoff the compressed formats buy is charged where the
+  // compression runs. One launch over the message's n vertices,
+  // identical across sync modes (encode happens once per message at
+  // package time in both schedules).
+  s.device->add_kernel_cost(0, n, 1, 1.0,
+                            applied == WireFormat::kBitmap
+                                ? "wire_encode_bitmap"
+                                : "wire_encode_varint");
+  // Encoded-vertex accounting happens in CommBus::push (per pushed
+  // message, so broadcast clones of one encoded proto each count).
+}
+
 void EnactorBase::split_frontier_and_push(Slice& s) {
   Frontier& frontier = s.frontier;
   if (n_ == 1) {
@@ -709,6 +743,13 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
         chunk_vertices = out_items;
         chunk_launches = 1;
       }
+      // Encode the prototype once (every peer ships the same payload,
+      // so one encode kernel covers all copies — assign_from clones
+      // the encoded bytes). Universe: duplicate-all broadcast sends
+      // global IDs, so the bitmap spans the global vertex range.
+      encode_for_wire(
+          s, proto,
+          static_cast<std::size_t>(problem_.partitioned().global_vertices()));
       for (int peer = 0; peer < n_; ++peer) {
         if (peer == s.gpu) continue;
         Message message = bus_->acquire();
@@ -757,6 +798,11 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
         fill_value_associates(s, slot, sources,
                               message.value_slot(slot).data());
       }
+      // Universe: the payload holds receiver-local IDs, so the bitmap
+      // spans the receiver's hosted-vertex range.
+      encode_for_wire(
+          s, message,
+          static_cast<std::size_t>(problem_.sub(peer).num_total()));
       bus_->push(s.gpu, peer, std::move(message));
       mark_peer_pushed(s, peer);
     }

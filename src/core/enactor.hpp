@@ -253,6 +253,16 @@ class EnactorBase {
   /// Whether this enactor runs the event-driven pipeline schedule.
   bool pipeline_mode() const noexcept { return pipeline_; }
 
+  /// Compress a packaged message's vertex array per
+  /// Config::wire_format before bus().push (no-op under kRawIds, the
+  /// default). `universe` is the receiver's ID space for the bitmap
+  /// format and the density heuristic — the receiver's hosted-vertex
+  /// count (selective) or the global vertex count (broadcast). Charges
+  /// the modeled encode kernel to the *sender's* compute timeline when
+  /// a compressed format is applied. Primitives that override
+  /// communicate() call this on each message they build.
+  void encode_for_wire(Slice& s, Message& msg, std::size_t universe);
+
  private:
   enum class ThreadStatus { kWait, kRunning, kIdle, kToKill };
 

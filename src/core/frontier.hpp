@@ -224,6 +224,12 @@ class Frontier {
     current_ = 1 - current_;
     input_size_ = output_size_;
     output_size_ = 0;
+    // The retired input buffer becomes the new (empty) output side;
+    // drop its dense flag with it. A stale flag is live ammunition:
+    // the dense for_each_output path ignores output_size_, so an
+    // iteration that commits nothing without touching the output queue
+    // would re-emit the retired frontier's mask bits.
+    dense_[1 - current_] = false;
   }
 
   /// Direct access to the output entries (for the framework's split

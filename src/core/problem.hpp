@@ -43,6 +43,20 @@ struct Config {
   /// compacted queue. 0 disables dense mode entirely (the default);
   /// only primitives that declare dense_frontier_capable() honor it.
   double dense_threshold = 0;
+  /// Wire format for frontier pushes (core/comm.hpp). kRawIds (the
+  /// default) reproduces every prior run's H bytes bit-identically;
+  /// kAuto picks bitmap vs delta-varint per (peer, superstep) by the
+  /// density heuristic below. Either compressed format keeps results,
+  /// frontiers, and H *item* counts bit-identical — only bytes on the
+  /// wire and the modeled encode/decode kernels (charged to W) change.
+  WireFormat wire_format = WireFormat::kRawIds;
+  /// kAuto's density switch point: use a bitmap when a peer bucket
+  /// holds at least this fraction of the receiver's hosted vertices
+  /// (and the bucket is ascending — see wire::encode), delta-varint
+  /// otherwise. A |universe|-bit bitmap beats 4-byte raw IDs above
+  /// 1/32 density; 1/16 leaves margin for the varint's wins on sparse
+  /// ascending buckets.
+  double wire_density_threshold = 1.0 / 16;
 
   // --- Fault-recovery knobs (all defaults preserve pre-recovery
   // behavior bit-identically; see docs/architecture.md §10) ---

@@ -173,6 +173,10 @@ void BcEnactor::communicate_forward(Slice& s) {
       sigma_out[i] = static_cast<ValueT>(d.sigma_acc[v]);
       d.sigma_acc[v] = 0;  // partial handed off
     }
+    // Duplicate-all: payload holds global IDs, bitmap spans |V|.
+    encode_for_wire(
+        s, msg,
+        static_cast<std::size_t>(problem().partitioned().global_vertices()));
     bus().push(s.gpu, peer, std::move(msg));
   }
 
@@ -191,6 +195,12 @@ void BcEnactor::communicate_forward(Slice& s) {
       proto.vertices[i] = lvl[i];
       sigma_out[i] = static_cast<ValueT>(d.sigma[lvl[i]]);
     }
+    // One encode kernel covers every peer's copy (assign_from clones
+    // the encoded bytes), mirroring split_frontier_and_push's
+    // broadcast path.
+    encode_for_wire(
+        s, proto,
+        static_cast<std::size_t>(problem().partitioned().global_vertices()));
     for (int peer = 0; peer < n; ++peer) {
       if (peer == s.gpu) continue;
       core::Message msg = bus().acquire();
@@ -226,6 +236,9 @@ void BcEnactor::communicate_backward(Slice& s) {
       delta_out[i] = static_cast<ValueT>(d.delta_acc[p]);
       d.delta_acc[p] = 0;
     }
+    encode_for_wire(
+        s, msg,
+        static_cast<std::size_t>(problem().partitioned().global_vertices()));
     bus().push(s.gpu, peer, std::move(msg));
   }
   s.device->add_kernel_cost(0, d.border.size(), 1, 1.0, "bc_package");

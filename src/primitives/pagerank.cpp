@@ -114,6 +114,8 @@ void PagerankEnactor::communicate(Slice& s) {
       acc_out[i] = d.acc[p];
       d.acc[p] = 0;
     }
+    encode_for_wire(
+        s, msg, static_cast<std::size_t>(problem().sub(peer).num_total()));
     bus().push(s.gpu, peer, std::move(msg));
     mark_peer_pushed(s, peer);
   }

@@ -60,6 +60,7 @@ class Array1D {
   void allocate(std::size_t count) {
     release();
     if (count == 0) return;
+    check_count(count);
     data_ = static_cast<T*>(allocator_->allocate(count * sizeof(T), name_));
     capacity_ = count;
     size_ = count;
@@ -84,6 +85,7 @@ class Array1D {
       size_ = count > size_ ? count : size_;
       return false;
     }
+    check_count(count);
     T* fresh = static_cast<T*>(allocator_->allocate(count * sizeof(T), name_));
     if (keep_contents && data_ != nullptr && size_ > 0) {
       std::memcpy(fresh, data_, size_ * sizeof(T));
@@ -130,6 +132,18 @@ class Array1D {
   const T* end() const noexcept { return data_ + size_; }
 
  private:
+  /// Reject element counts whose byte size overflows std::size_t —
+  /// `count * sizeof(T)` would wrap and allocate a buffer far smaller
+  /// than requested, turning an absurd request (e.g. an overflowed
+  /// size computation upstream) into silent heap corruption instead of
+  /// a clean typed error.
+  void check_count(std::size_t count) const {
+    MGG_CHECK(count <= static_cast<std::size_t>(-1) / sizeof(T),
+              Status::kOutOfMemory,
+              "Array1D(" + name_ + "): byte size overflow for " +
+                  std::to_string(count) + " elements");
+  }
+
   void move_from(Array1D&& other) noexcept {
     name_ = std::move(other.name_);
     allocator_ = other.allocator_;

@@ -70,6 +70,17 @@ struct RunStats {
   std::uint64_t degraded_reruns = 0;
   /// Watchdog wall-clock deadline this run was armed with (0 = off).
   double watchdog_deadline_s = 0;
+  /// Wire-format accounting (core/comm.hpp WireFormat): payload bytes
+  /// split by the format each delivered message traveled in — the
+  /// three sum to total_comm_bytes — plus the vertices that passed
+  /// through the modeled encode/decode kernels. All raw under the
+  /// default Config (wire_format = kRawIds): bytes land in
+  /// wire_bytes_raw and the encode/decode counts stay 0.
+  std::uint64_t wire_bytes_raw = 0;
+  std::uint64_t wire_bytes_bitmap = 0;
+  std::uint64_t wire_bytes_delta = 0;
+  std::uint64_t wire_encode_vertices = 0;
+  std::uint64_t wire_decode_vertices = 0;
 
   double modeled_total_s() const {
     return modeled_compute_s + modeled_comm_s + modeled_overhead_s -

@@ -43,6 +43,16 @@ std::string run_stats_to_json(const RunStats& stats,
   w.key("degraded_reruns").value(
       static_cast<unsigned long long>(stats.degraded_reruns));
   w.key("watchdog_deadline_s").value(stats.watchdog_deadline_s);
+  w.key("wire_bytes_raw").value(
+      static_cast<unsigned long long>(stats.wire_bytes_raw));
+  w.key("wire_bytes_bitmap").value(
+      static_cast<unsigned long long>(stats.wire_bytes_bitmap));
+  w.key("wire_bytes_delta").value(
+      static_cast<unsigned long long>(stats.wire_bytes_delta));
+  w.key("wire_encode_vertices").value(
+      static_cast<unsigned long long>(stats.wire_encode_vertices));
+  w.key("wire_decode_vertices").value(
+      static_cast<unsigned long long>(stats.wire_decode_vertices));
   if (!records.empty()) {
     w.key("iterations_detail").begin_array();
     for (const auto& r : records) {

@@ -653,6 +653,49 @@ TEST(FaultRecovery, TransientTransferRetriesAndCompletes) {
   EXPECT_GE(stats.modeled_comm_s, golden_stats.modeled_comm_s);
 }
 
+// Regression for the modeled-backoff overflow: backoff grew as
+// base * 2^attempt with an unclamped exponent, which is UB once
+// attempt >= 64 (1ULL << attempt) and models absurd seconds long
+// before that — attempt 41 alone charges base * 2^41 ~ 1e5 modeled
+// seconds at the 50us default base. With a high retry bound and a
+// long transient burst, the pre-fix modeled comm time explodes
+// (~2^70 * 50us ~ 6e16 s); post-fix the per-retry exponent clamps at
+// 2^20 and the total backoff caps at base * 2^22 (~210 s), so the run
+// completes with sane modeled time and bit-identical results.
+TEST(FaultRecovery, HighRetryBoundBackoffIsClampedNotOverflowed) {
+  constexpr int kGpus = 2;
+  core::Config cfg = test::config_for(kGpus);
+  cfg.max_comm_retries = 100;
+
+  auto golden_machine = test::test_machine(kGpus);
+  auto golden = make_bfs_runner(golden_machine, cfg);
+  golden->reset();
+  golden->enact();
+  const auto want = golden->signature();
+
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kTransferTransient;
+  spec.device = 0;
+  spec.peer = 1;
+  spec.at_event = 0;
+  spec.count = 70;  // drives attempt up to 70 on one push: past 2^63
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  auto machine = test::test_machine(kGpus);
+  vgpu::FaultInjector injector(plan, kGpus);
+  machine.set_fault_injector(&injector);
+  auto runner = make_bfs_runner(machine, cfg);
+  runner->reset();
+  const auto stats = runner->enact();
+  EXPECT_EQ(stats.comm_retries, 70u);
+  EXPECT_EQ(runner->signature(), want);
+  // The capped total backoff for one saturated retry loop is
+  // 50us * 2^22 ~ 210 modeled seconds; leave an order of magnitude of
+  // headroom. Pre-fix this is ~6e16 seconds (or UB garbage).
+  EXPECT_LT(stats.modeled_comm_s, 1e4);
+  EXPECT_GE(stats.modeled_comm_s, 0.0);
+}
+
 // Exhausting the transfer retry budget surfaces kUnavailable; the
 // enactor stays reusable.
 TEST(FaultRecovery, TransferRetryExhaustionSurfacesUnavailable) {

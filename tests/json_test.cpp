@@ -119,5 +119,97 @@ TEST(StatsIo, FaultFreeRunExportsZeroFaultCounters) {
   EXPECT_NE(json.find("\"faults_injected\":0"), std::string::npos);
 }
 
+TEST(StatsIo, EveryNumericRunStatsFieldRoundTrips) {
+  // Exhaustive field coverage: a RunStats stuffed with distinct
+  // sentinel values must surface every numeric field in the JSON with
+  // its exact value. A field added to RunStats but forgotten in
+  // run_stats_to_json fails here (the per-format wire counters were
+  // exactly that kind of omission risk).
+  vgpu::RunStats stats;
+  stats.iterations = 101;
+  stats.total_edges = 102;
+  stats.total_vertices = 103;
+  stats.total_comm_items = 104;
+  stats.total_combine_items = 105;
+  stats.total_comm_bytes = 106;
+  stats.total_launches = 107;
+  stats.dense_switches = 108;
+  stats.modeled_compute_s = 0.109;
+  stats.modeled_comm_s = 0.11;
+  stats.modeled_overhead_s = 0.111;
+  stats.modeled_overlap_hidden_s = 0.112;
+  stats.wall_s = 0.113;
+  stats.oom_regrows = 114;
+  stats.comm_retries = 115;
+  stats.faults_injected = 116;
+  stats.degraded_reruns = 117;
+  stats.watchdog_deadline_s = 0.118;
+  stats.wire_bytes_raw = 119;
+  stats.wire_bytes_bitmap = 120;
+  stats.wire_bytes_delta = 121;
+  stats.wire_encode_vertices = 122;
+  stats.wire_decode_vertices = 123;
+  const std::string json = vgpu::run_stats_to_json(stats, {});
+  const std::pair<const char*, std::string> expected[] = {
+      {"iterations", "101"},
+      {"total_edges", "102"},
+      {"total_vertices", "103"},
+      {"total_comm_items", "104"},
+      {"total_combine_items", "105"},
+      {"total_comm_bytes", "106"},
+      {"total_launches", "107"},
+      {"dense_switches", "108"},
+      {"modeled_compute_s", "0.109"},
+      {"modeled_comm_s", "0.11"},
+      {"modeled_overhead_s", "0.111"},
+      {"modeled_overlap_hidden_s", "0.112"},
+      {"wall_s", "0.113"},
+      {"oom_regrows", "114"},
+      {"comm_retries", "115"},
+      {"faults_injected", "116"},
+      {"degraded_reruns", "117"},
+      {"watchdog_deadline_s", "0.118"},
+      {"wire_bytes_raw", "119"},
+      {"wire_bytes_bitmap", "120"},
+      {"wire_bytes_delta", "121"},
+      {"wire_encode_vertices", "122"},
+      {"wire_decode_vertices", "123"},
+  };
+  for (const auto& [key, value] : expected) {
+    const std::string needle =
+        "\"" + std::string(key) + "\":" + value;
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "missing " << needle << " in " << json;
+  }
+}
+
+TEST(StatsIo, WireCountersRoundTripFromRealCompressedRun) {
+  const auto g = test::small_rmat();
+  auto machine = test::test_machine(4);
+  core::Config cfg;
+  cfg.num_gpus = 4;
+  cfg.wire_format = core::WireFormat::kAuto;
+  prim::BfsProblem problem;
+  problem.init(g, machine, cfg);
+  prim::BfsEnactor enactor(problem);
+  enactor.reset(test::first_connected_vertex(g));
+  const auto stats = enactor.enact();
+  EXPECT_GT(stats.wire_encode_vertices, 0u);
+  EXPECT_EQ(stats.wire_bytes_raw + stats.wire_bytes_bitmap +
+                stats.wire_bytes_delta,
+            stats.total_comm_bytes);
+  const std::string json =
+      vgpu::run_stats_to_json(stats, enactor.iteration_records());
+  EXPECT_NE(json.find("\"wire_bytes_raw\":" +
+                      std::to_string(stats.wire_bytes_raw)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wire_bytes_delta\":" +
+                      std::to_string(stats.wire_bytes_delta)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wire_encode_vertices\":" +
+                      std::to_string(stats.wire_encode_vertices)),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mgg

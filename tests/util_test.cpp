@@ -10,6 +10,7 @@
 #include "util/bitset.hpp"
 #include "util/error.hpp"
 #include "util/options.hpp"
+#include "util/pod_vector.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -121,6 +122,87 @@ TEST(Array1D, EnsureSizeKeepsContents) {
   for (int i = 0; i < 4; ++i) a[i] = i * i;
   a.ensure_size(100, /*keep_contents=*/true);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], i * i);
+}
+
+TEST(Array1D, ZeroSizeEnsureOnEmptyArrayIsANoop) {
+  // The zero-size-encode edge: an empty varint payload must be able to
+  // size its buffers without allocating or faulting.
+  util::Array1D<int> a("test");
+  EXPECT_FALSE(a.ensure_size(0));
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.realloc_count(), 0u);
+}
+
+TEST(Array1D, EnsureSizeAfterReleaseReallocatesFromScratch) {
+  // Capacity floor after release(): regrowing a released array (the
+  // grow-and-retry OOM path does exactly this) must start clean, not
+  // trip over stale size/capacity.
+  util::Array1D<int> a("test");
+  a.allocate(16);
+  a.fill(3);
+  a.release();
+  EXPECT_EQ(a.capacity(), 0u);
+  EXPECT_TRUE(a.ensure_size(4, /*keep_contents=*/true));  // nothing to keep
+  EXPECT_EQ(a.capacity(), 4u);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(Array1D, EnsureSizeKeepsOnlyLivePrefixAcrossGrowth) {
+  // keep_contents copies size_ elements, not capacity_: after a
+  // shrink-by-set_size, growth must preserve exactly the live prefix.
+  util::Array1D<int> a("test");
+  a.allocate(8);
+  for (int i = 0; i < 8; ++i) a[i] = 10 + i;
+  a.set_size(3);
+  a.ensure_size(64, /*keep_contents=*/true);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a[i], 10 + i);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(a.capacity(), 64u);
+}
+
+TEST(Array1D, ByteSizeOverflowThrowsInsteadOfWrapping) {
+  // count * sizeof(T) used to wrap: an absurd element count (e.g. an
+  // overflowed upstream size computation) would allocate a tiny buffer
+  // and corrupt the heap on first write. Now it is a clean typed OOM.
+  util::Array1D<std::uint64_t> a("test");
+  const std::size_t huge = static_cast<std::size_t>(-1) / 2;
+  try {
+    a.ensure_size(huge);
+    FAIL() << "expected kOutOfMemory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kOutOfMemory);
+  }
+  EXPECT_EQ(a.capacity(), 0u);
+  try {
+    a.allocate(huge);
+    FAIL() << "expected kOutOfMemory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kOutOfMemory);
+  }
+  // The array stays usable after the rejected requests.
+  a.allocate(4);
+  a.fill(1);
+  EXPECT_EQ(a[3], 1u);
+}
+
+TEST(PodVector, ResizeGrowthPreservesPrefixAndCapacityAcrossClear) {
+  // The varint encoder's push_back/resize pattern: clear() must keep
+  // capacity (pooled messages rely on it), growth must preserve the
+  // written prefix, and a zero-size resize must be legal.
+  util::PodVector<std::uint8_t> v;
+  v.resize(0);  // zero-size encode
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 300; ++i) v.push_back(static_cast<std::uint8_t>(i));
+  const std::size_t cap = v.capacity();
+  EXPECT_GE(cap, 300u);
+  v.resize(512);  // partial-word tail growth past the varint bytes
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], static_cast<std::uint8_t>(i));
+  }
+  v.clear();
+  EXPECT_GE(v.capacity(), 512u);  // warm capacity retained for reuse
 }
 
 TEST(Array1D, MoveTransfersOwnership) {
