@@ -35,6 +35,11 @@ std::uint64_t g_fault_seed = 0;
 // caller's wire_format. Default raw keeps every golden byte-identical.
 core::WireFormat g_wire_format = core::WireFormat::kRawIds;
 bool g_wire_format_set = false;
+// Armed by parse_common(--host-threads=N): every run_primitive() call
+// applies it to Config::host_threads. Pure wall-clock knob — results
+// and all modeled quantities are bit-identical at any value.
+int g_host_threads = 0;
+bool g_host_threads_set = false;
 }  // namespace
 
 VertexT pick_source(const graph::Graph& g) {
@@ -89,6 +94,7 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
   auto machine = vgpu::Machine::create(gpu_model, config.num_gpus);
   machine.set_workload_scale(workload_scale);
   if (g_wire_format_set) config.wire_format = g_wire_format;
+  if (g_host_threads_set) config.host_threads = g_host_threads;
   std::unique_ptr<vgpu::Tracer> tracer;
   std::string trace_path;
   if (!g_trace_path.empty()) {
@@ -153,7 +159,7 @@ util::Options parse_common(int argc, char** argv,
   std::vector<std::string_view> known = {"suite",      "seed",
                                          "csv",        "trace",
                                          "fault-plan", "fault-seed",
-                                         "wire-format"};
+                                         "wire-format", "host-threads"};
   known.insert(known.end(), extra.begin(), extra.end());
   options.check_unknown(known);
   g_trace_path = options.get_string("trace", "");
@@ -164,6 +170,12 @@ util::Options parse_common(int argc, char** argv,
   if (g_wire_format_set) {
     g_wire_format = core::parse_wire_format(wire);  // throws on typos
     std::fprintf(stderr, "[wire] format override: %s\n", wire.c_str());
+  }
+  g_host_threads_set = options.has("host-threads");
+  if (g_host_threads_set) {
+    g_host_threads = static_cast<int>(options.get_int("host-threads", 0));
+    std::fprintf(stderr, "[host] worker threads override: %d\n",
+                 g_host_threads);
   }
   if (!g_fault_plan.empty() || g_fault_seed != 0) {
     std::fprintf(stderr, "[fault] injection armed: %s\n",

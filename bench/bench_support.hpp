@@ -13,6 +13,11 @@
 //   --wire-format=F             frontier-push wire format for every run:
 //                               raw | bitmap | varint | auto
 //                               (core::parse_wire_format; default raw)
+//   --host-threads=N            host worker threads per run (0 = auto =
+//                               hardware concurrency capped at 8;
+//                               wall-clock only — results, W, H, and
+//                               modeled times are bit-identical at any
+//                               value)
 // plus binary-specific flags documented in each main().
 #pragma once
 

@@ -152,7 +152,7 @@ std::vector<ValueT> cpu_widest(const graph::Graph& g, VertexT src) {
 int main(int argc, char** argv) {
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "scale", "trace", "fault-plan",
-                         "fault-seed", "wire-format"});
+                         "fault-seed", "wire-format", "host-threads"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 11));
   const std::string trace_path = options.get_string("trace", "");
@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
   config.num_gpus = gpus;
   config.wire_format =
       core::parse_wire_format(options.get_string("wire-format", "raw"));
+  config.host_threads = static_cast<int>(options.get_int("host-threads", 0));
 
   WidestPathProblem problem;
   problem.init(g, machine, config);

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "scale", "edge-factor", "trace",
-                         "fault-plan", "fault-seed", "wire-format"});
+                         "fault-plan", "fault-seed", "wire-format",
+                         "host-threads"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const int scale = static_cast<int>(options.get_int("scale", 12));
   const double edge_factor = options.get_double("edge-factor", 16);
@@ -62,6 +63,9 @@ int main(int argc, char** argv) {
   config.mark_predecessors = true;
   config.wire_format =
       core::parse_wire_format(options.get_string("wire-format", "raw"));
+  // Host worker threads (0 = auto). Wall-clock only: results and
+  // modeled times are bit-identical at any value.
+  config.host_threads = static_cast<int>(options.get_int("host-threads", 0));
 
   // 4. Run BFS from vertex 0.
   const auto result = prim::run_bfs(g, /*src=*/0, machine, config);

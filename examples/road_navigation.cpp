@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "width", "height", "trace",
-                         "fault-plan", "fault-seed", "wire-format"});
+                         "fault-plan", "fault-seed", "wire-format",
+                         "host-threads"});
   const int gpus = static_cast<int>(options.get_int("gpus", 2));
   const auto width = static_cast<VertexT>(options.get_int("width", 128));
   const auto height = static_cast<VertexT>(options.get_int("height", 128));
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   config.mark_predecessors = true;
   config.wire_format =
       core::parse_wire_format(options.get_string("wire-format", "raw"));
+  config.host_threads = static_cast<int>(options.get_int("host-threads", 0));
 
   auto machine = vgpu::Machine::create("k40", gpus);
   const auto fault_injector = vgpu::make_injector_from_flags(

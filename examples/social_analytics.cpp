@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "vertices", "epv", "trace",
-                         "fault-plan", "fault-seed", "wire-format"});
+                         "fault-plan", "fault-seed", "wire-format",
+                         "host-threads"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto vertices =
       static_cast<VertexT>(options.get_int("vertices", 20000));
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   config.num_gpus = gpus;
   config.wire_format =
       core::parse_wire_format(options.get_string("wire-format", "raw"));
+  config.host_threads = static_cast<int>(options.get_int("host-threads", 0));
 
   // --- 1. Influence: PageRank. ---
   prim::PagerankOptions pr_options;

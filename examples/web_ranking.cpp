@@ -24,9 +24,12 @@ int main(int argc, char** argv) {
   using namespace mgg;
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "hosts", "pages", "trace",
-                         "fault-plan", "fault-seed", "wire-format"});
+                         "fault-plan", "fault-seed", "wire-format",
+                         "host-threads"});
   const core::WireFormat wire_format =
       core::parse_wire_format(options.get_string("wire-format", "raw"));
+  const int host_threads =
+      static_cast<int>(options.get_int("host-threads", 0));
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto hosts = static_cast<VertexT>(options.get_int("hosts", 400));
   const auto pages = static_cast<VertexT>(options.get_int("pages", 64));
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
     config.num_gpus = gpus;
     config.partitioner = partitioner;
     config.wire_format = wire_format;
+    config.host_threads = host_threads;
     const auto pr = prim::run_pagerank(g, machine, config);
     std::printf("PageRank [%7s partitioner]: %.2f ms modeled, "
                 "%llu vertices communicated\n",
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   core::Config config;
   config.num_gpus = gpus;
   config.wire_format = wire_format;
+  config.host_threads = host_threads;
   const auto pr = prim::run_pagerank(g, machine, config);
   const auto top = static_cast<VertexT>(
       std::max_element(pr.rank.begin(), pr.rank.end()) - pr.rank.begin());

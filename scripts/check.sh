@@ -40,6 +40,19 @@ echo "==> wire-format differential + adversarial suite (explicit)"
 # corrupt-payload rejections.
 "$BUILD/tests/mgg_tests" --gtest_filter='WireFormat.*'
 
+echo "==> parallel-exec differential suite (explicit)"
+# Host worker pool (docs/architecture.md §12): results, W/H and modeled
+# times bit-identical at every Config::host_threads width. Each test
+# sweeps widths {1, 2, 4, 8} internally (sequential baseline, the
+# chunk-boundary widths and the auto cap), plus the pool's error and
+# nesting protocol and the steady-state zero-allocation regression.
+"$BUILD/tests/mgg_tests" --gtest_filter='ParallelExec.*'
+
+echo "==> micro_parallel acceptance gate (writes BENCH_parallel.json)"
+# Bit-identity across pool widths is always enforced; the >= 2x wall
+# gate at 4 workers arms only when the host has >= 4 hardware threads.
+"$BUILD/bench/micro_parallel" --json="$BUILD/BENCH_parallel.json"
+
 echo "==> micro_comm acceptance gate"
 "$BUILD/bench/micro_comm"
 
@@ -84,6 +97,9 @@ TSAN_FILTER+=':CostModel.*:Trace.*'
 # Wire codecs run on the sender/receiver threads (encode at package
 # time, decode inside drain) and bump the CommBus wire-stats atomics.
 TSAN_FILTER+=':WireFormat.*'
+# Host worker pool: chunk claiming, the wake/done protocol, and every
+# parallel operator pipeline running with 2-8 pool workers.
+TSAN_FILTER+=':ParallelExec.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

@@ -70,6 +70,24 @@ inline void put_varint(util::PodVector<std::uint8_t>& out,
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
+/// Encoded length of put_varint(v) without emitting it (the sizing
+/// pass of the two-pass parallel varint encoder).
+inline std::size_t varint_len(std::uint64_t v) noexcept {
+  return (static_cast<std::size_t>(std::bit_width(v | 1)) + 6) / 7;
+}
+
+/// put_varint into a raw buffer at `p`; returns bytes written. Emits
+/// exactly the bytes put_varint would push_back.
+inline std::size_t put_varint_at(std::uint8_t* p, std::uint64_t v) noexcept {
+  std::size_t i = 0;
+  while (v >= 0x80) {
+    p[i++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  p[i++] = static_cast<std::uint8_t>(v);
+  return i;
+}
+
 /// LEB128 read with bounds checking; throws kInternal on truncation or
 /// a >10-byte (i.e. corrupt) code.
 inline std::uint64_t get_varint(const std::uint8_t* data, std::size_t size,
@@ -117,7 +135,7 @@ bool strictly_ascending(const util::PodVector<VertexT>& v) noexcept {
 /// over the [0, max_id] ID range. Lossless only for strictly ascending
 /// input (decode emits set bits in ascending order) — the caller
 /// checked that.
-void encode_bitmap(Message& msg) {
+void encode_bitmap(Message& msg, util::ThreadPool* pool) {
   const std::size_t n = msg.vertices.size();
   const std::uint64_t max_id = msg.vertices[n - 1];  // ascending: last
   const std::uint64_t n_words = max_id / 64 + 1;
@@ -127,36 +145,103 @@ void encode_bitmap(Message& msg) {
   put_u32(msg.wire, static_cast<std::uint32_t>(n_words));
   const std::size_t base = msg.wire.size();
   msg.wire.resize(base + n_words * 8);
-  std::fill(msg.wire.begin() + static_cast<std::ptrdiff_t>(base),
-            msg.wire.end(), std::uint8_t{0});
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t id = msg.vertices[i];
-    msg.wire[base + (id / 64) * 8 + (id % 64) / 8] |=
-        static_cast<std::uint8_t>(1u << (id % 8));
-  }
+  // Parallel fill: chunk the *word* range (each word owns 8 output
+  // bytes and the 64 IDs mapping into it), and hand each chunk the
+  // vertex subrange landing in its words via binary search on the
+  // (strictly ascending — the caller checked) ID sequence. Chunks
+  // zero and set disjoint byte ranges, so the payload is byte-for-byte
+  // what the sequential fill+set loop produces.
+  constexpr std::size_t kWordGrain = 512;
+  util::parallel_for(
+      pool, static_cast<std::size_t>(n_words), kWordGrain,
+      [&](std::size_t wb, std::size_t we, std::size_t /*chunk*/) {
+        std::fill(msg.wire.begin() + static_cast<std::ptrdiff_t>(base + wb * 8),
+                  msg.wire.begin() + static_cast<std::ptrdiff_t>(base + we * 8),
+                  std::uint8_t{0});
+        const VertexT* first = msg.vertices.data();
+        const VertexT* last = first + n;
+        const VertexT* lo = std::lower_bound(
+            first, last, static_cast<VertexT>(wb * 64));
+        const VertexT* hi =
+            we * 64 > max_id
+                ? last
+                : std::lower_bound(lo, last, static_cast<VertexT>(we * 64));
+        for (const VertexT* it = lo; it != hi; ++it) {
+          const std::uint64_t id = *it;
+          msg.wire[base + (id / 64) * 8 + (id % 64) / 8] |=
+              static_cast<std::uint8_t>(1u << (id % 8));
+        }
+      });
 }
 
 /// Delta-varint layout: [varint n][zigzag(v[i] - v[i-1]) varints],
 /// previous starting at 0. Order-preserving for arbitrary sequences.
-void encode_delta_varint(Message& msg) {
+void encode_delta_varint(Message& msg, util::ThreadPool* pool) {
   const std::size_t n = msg.vertices.size();
   msg.wire.clear();
-  // Ascending dense runs collapse to 1 byte/vertex; reserve for that
-  // common case and let push_back grow on adversarial input.
-  msg.wire.reserve(10 + n * 2);
-  put_varint(msg.wire, n);
-  std::int64_t prev = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::int64_t cur = static_cast<std::int64_t>(msg.vertices[i]);
-    put_varint(msg.wire, zigzag(cur - prev));
-    prev = cur;
+  constexpr std::size_t kItemGrain = 4096;
+  const std::size_t n_chunks = util::ThreadPool::chunk_count(n, kItemGrain);
+  if (pool == nullptr || n_chunks == 1) {
+    // Ascending dense runs collapse to 1 byte/vertex; reserve for that
+    // common case and let push_back grow on adversarial input.
+    msg.wire.reserve(10 + n * 2);
+    put_varint(msg.wire, n);
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t cur = static_cast<std::int64_t>(msg.vertices[i]);
+      put_varint(msg.wire, zigzag(cur - prev));
+      prev = cur;
+    }
+    return;
   }
+  // Two-pass parallel encode. Every delta depends only on vertices
+  // [i-1] and [i], so a chunk starting at b seeds its running
+  // `prev` from vertices[b-1] — no cross-chunk carry. Pass 1 sizes
+  // each chunk's encoded bytes, a serial prefix fixes each chunk's
+  // output offset, and pass 2 emits into disjoint ranges: the byte
+  // stream is identical to the sequential encoder's.
+  put_varint(msg.wire, n);
+  const std::size_t header = msg.wire.size();
+  std::size_t chunk_bytes[util::ThreadPool::kMaxChunks];
+  pool->run_chunks(n_chunks, [&](std::size_t c) {
+    const std::size_t b = util::ThreadPool::chunk_begin(n, n_chunks, c);
+    const std::size_t e = util::ThreadPool::chunk_begin(n, n_chunks, c + 1);
+    std::int64_t prev =
+        b == 0 ? 0 : static_cast<std::int64_t>(msg.vertices[b - 1]);
+    std::size_t bytes = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const std::int64_t cur = static_cast<std::int64_t>(msg.vertices[i]);
+      bytes += varint_len(zigzag(cur - prev));
+      prev = cur;
+    }
+    chunk_bytes[c] = bytes;
+  });
+  std::size_t offsets[util::ThreadPool::kMaxChunks];
+  std::size_t total = header;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    offsets[c] = total;
+    total += chunk_bytes[c];
+  }
+  msg.wire.resize(total);
+  pool->run_chunks(n_chunks, [&](std::size_t c) {
+    const std::size_t b = util::ThreadPool::chunk_begin(n, n_chunks, c);
+    const std::size_t e = util::ThreadPool::chunk_begin(n, n_chunks, c + 1);
+    std::int64_t prev =
+        b == 0 ? 0 : static_cast<std::int64_t>(msg.vertices[b - 1]);
+    std::uint8_t* out = msg.wire.data() + offsets[c];
+    for (std::size_t i = b; i < e; ++i) {
+      const std::int64_t cur = static_cast<std::int64_t>(msg.vertices[i]);
+      out += put_varint_at(out, zigzag(cur - prev));
+      prev = cur;
+    }
+  });
 }
 
 }  // namespace
 
 WireFormat encode(Message& msg, WireFormat requested,
-                  double density_threshold, std::size_t universe) {
+                  double density_threshold, std::size_t universe,
+                  util::ThreadPool* pool) {
   if (requested == WireFormat::kRawIds || msg.vertices.empty()) {
     return WireFormat::kRawIds;
   }
@@ -193,9 +278,9 @@ WireFormat encode(Message& msg, WireFormat requested,
     }
   }
   if (pick == WireFormat::kBitmap) {
-    encode_bitmap(msg);
+    encode_bitmap(msg, pool);
   } else {
-    encode_delta_varint(msg);
+    encode_delta_varint(msg, pool);
   }
   if (msg.wire.size() >= raw_bytes) {
     // Compression would inflate the payload (sparse adversarial
@@ -422,20 +507,48 @@ std::vector<Message>& CommBus::drain(int dst) {
 }
 
 void CommBus::decode_batch(int dst, std::vector<Message>& batch) {
-  for (Message& msg : batch) {
-    if (msg.encoding == WireFormat::kRawIds) continue;
-    const char* name = msg.encoding == WireFormat::kBitmap
+  // Stage the charge parameters first (decode resets encoding /
+  // wire_items), decode — across messages in parallel when a host
+  // pool is installed, since each message decodes into its own
+  // buffers — then issue the modeled decode charges sequentially in
+  // batch order. The receiver's kernel-charge sequence, and with it
+  // every modeled time and counter, is bit-identical to the
+  // sequential path at any pool width.
+  struct Charge {
+    std::size_t index;
+    std::size_t items;
+    const char* name;
+  };
+  std::vector<Charge> charges;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].encoding == WireFormat::kRawIds) continue;
+    charges.push_back({i, batch[i].size(),
+                       batch[i].encoding == WireFormat::kBitmap
                            ? "wire_decode_bitmap"
-                           : "wire_decode_varint";
-    const std::size_t n = msg.size();
-    wire::decode(msg);
+                           : "wire_decode_varint"});
+  }
+  if (charges.empty()) return;
+  if (host_pool_ != nullptr && charges.size() > 1) {
+    const std::size_t n_chunks =
+        util::ThreadPool::chunk_count(charges.size(), 1);
+    host_pool_->run_chunks(n_chunks, [&](std::size_t c) {
+      const std::size_t b =
+          util::ThreadPool::chunk_begin(charges.size(), n_chunks, c);
+      const std::size_t e =
+          util::ThreadPool::chunk_begin(charges.size(), n_chunks, c + 1);
+      for (std::size_t k = b; k < e; ++k) wire::decode(batch[charges[k].index]);
+    });
+  } else {
+    for (const Charge& c : charges) wire::decode(batch[c.index]);
+  }
+  for (const Charge& c : charges) {
     // Modeled decode kernel: one launch touching n vertices, charged
     // to the receiver's compute timeline alongside the combine work it
     // feeds. Identical across sync modes — per-batch and per-sender
     // drains decode the same message set exactly once.
-    machine_->device(dst).add_kernel_cost(0, n, 1, 1.0, name,
+    machine_->device(dst).add_kernel_cost(0, c.items, 1, 1.0, c.name,
                                           vgpu::TraceCategory::kCombine);
-    wire_decoded_.fetch_add(n, std::memory_order_relaxed);
+    wire_decoded_.fetch_add(c.items, std::memory_order_relaxed);
   }
 }
 

@@ -33,6 +33,7 @@
 
 #include "graph/types.hpp"
 #include "util/pod_vector.hpp"
+#include "util/thread_pool.hpp"
 #include "vgpu/machine.hpp"
 
 namespace mgg::core {
@@ -233,9 +234,12 @@ namespace wire {
 /// compressed message is never larger than its raw form. Returns the
 /// format actually applied; the caller charges the encode kernel when
 /// it is not kRawIds. Deterministic: a pure function of the vertex
-/// sequence and the arguments.
+/// sequence and the arguments — `pool` only parallelizes the byte
+/// production (disjoint output ranges computed up front), it never
+/// changes a single emitted byte or the format decision.
 WireFormat encode(Message& msg, WireFormat requested,
-                  double density_threshold, std::size_t universe);
+                  double density_threshold, std::size_t universe,
+                  util::ThreadPool* pool = nullptr);
 
 /// Restore `msg.vertices` from `msg.wire` (exact original sequence)
 /// and reset the message to kRawIds. No-op on raw messages. Throws
@@ -344,6 +348,14 @@ class CommBus {
     return w;
   }
 
+  /// Host worker pool used to parallelize wire decode across the
+  /// messages of a drained batch (each message decodes independently;
+  /// the modeled decode charges are still issued sequentially in batch
+  /// order, so accounting is bit-identical to the sequential path).
+  /// Null (the default) keeps every path sequential. Set by the
+  /// enactor alongside the per-slice OpContext pools.
+  void set_host_pool(util::ThreadPool* pool) noexcept { host_pool_ = pool; }
+
  private:
   /// Decode every compressed message in a drained batch back to raw
   /// IDs (transparently to the combine path), charging the modeled
@@ -371,6 +383,7 @@ class CommBus {
   std::atomic<std::uint64_t> wire_bytes_delta_{0};
   std::atomic<std::uint64_t> wire_encoded_{0};
   std::atomic<std::uint64_t> wire_decoded_{0};
+  util::ThreadPool* host_pool_ = nullptr;
 };
 
 }  // namespace mgg::core

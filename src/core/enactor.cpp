@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -173,10 +174,19 @@ vgpu::RunStats EnactorBase::enact() {
   // (not the constructor) because dense_frontier_capable() is virtual.
   const double dense_threshold =
       dense_frontier_capable() ? problem_.config().dense_threshold : 0.0;
+  // Host execution width (docs/architecture.md §12): size the shared
+  // worker pool once per run. The pool pointer only reaches the
+  // operator contexts and comm paths when it buys parallelism; either
+  // way results, W, H, and modeled times are bit-identical.
+  const int host_width = util::ThreadPool::resolve_width(cfg.host_threads);
+  util::ThreadPool::shared().set_workers(host_width);
+  host_pool_ = host_width > 1 ? &util::ThreadPool::shared() : nullptr;
+  bus_->set_host_pool(host_pool_);
   std::uint64_t dense_switch_base = 0;
   for (auto& s : slices_) {
     s->combine_items = 0;
     s->ctx.dense_threshold = dense_threshold;
+    s->ctx.pool = host_pool_;
     s->superstep = 0;
     std::fill(s->peer_signaled.begin(), s->peer_signaled.end(), 0);
     dense_switch_base += s->frontier.dense_switches();
@@ -654,25 +664,104 @@ void EnactorBase::communicate(Slice& s) {
 SizeT EnactorBase::route_output_frontier(Slice& s) {
   Frontier& frontier = s.frontier;
   const part::SubGraph& sub = *s.sub;
-  // Counting pass: remote items per owning peer.
-  s.route_offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
-  frontier.for_each_output([&](VertexT v) {
-    if (!sub.is_hosted(v)) ++s.route_offsets[sub.owner[v] + 1];
+  constexpr std::size_t kRouteGrain = 4096;
+  const std::size_t n_out = frontier.output_size();
+  const std::size_t n_chunks =
+      host_pool_ != nullptr && !frontier.output_dense()
+          ? util::ThreadPool::chunk_count(n_out, kRouteGrain)
+          : 1;
+  if (n_chunks <= 1) {
+    // Counting pass: remote items per owning peer.
+    s.route_offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+    frontier.for_each_output([&](VertexT v) {
+      if (!sub.is_hosted(v)) ++s.route_offsets[sub.owner[v] + 1];
+    });
+    for (int p = 0; p < n_; ++p) {
+      s.route_offsets[p + 1] += s.route_offsets[p];
+    }
+    s.route_cursor.assign(s.route_offsets.begin(),
+                          s.route_offsets.begin() + n_);
+    s.route_sources.resize(s.route_offsets[n_]);
+    // Scatter pass, fused with the in-place local compaction.
+    // Encounter order within each bucket matches the old per-peer
+    // push_back order, so message bytes are unchanged.
+    return frontier.split_output(
+        [&](VertexT v) { return sub.is_hosted(v); },
+        [&](VertexT v) {
+          s.route_sources[s.route_cursor[sub.owner[v]]++] = v;
+        });
+  }
+
+  // Parallel counting-sort over fixed chunks of the sparse output:
+  // each chunk stages its kept and routed vertices locally in scan
+  // order, the tiny cross-chunk prefix runs serially, and the chunks
+  // scatter to their exact final positions — reproducing the
+  // sequential pass's stable bucket layout and in-place compaction
+  // byte for byte.
+  auto& chunks = s.route_chunks;
+  if (chunks.size() < n_chunks) chunks.resize(n_chunks);
+  const VertexT* raw = frontier.mutable_output();
+  host_pool_->run_chunks(n_chunks, [&](std::size_t c) {
+    Slice::RouteChunk& ch = chunks[c];
+    ch.kept.clear();
+    ch.routed.clear();
+    ch.peer_count.assign(static_cast<std::size_t>(n_), 0);
+    const std::size_t b = util::ThreadPool::chunk_begin(n_out, n_chunks, c);
+    const std::size_t e =
+        util::ThreadPool::chunk_begin(n_out, n_chunks, c + 1);
+    for (std::size_t i = b; i < e; ++i) {
+      const VertexT v = raw[i];
+      if (sub.is_hosted(v)) {
+        ch.kept.push_back(v);
+      } else {
+        ++ch.peer_count[sub.owner[v]];
+        ch.routed.push_back(v);
+      }
+    }
   });
+  // Bucket boundaries (identical to the sequential counting pass),
+  // then turn each chunk's per-peer counts into its scatter bases and
+  // lay out the kept-prefix bases.
+  s.route_offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    for (int p = 0; p < n_; ++p) {
+      s.route_offsets[p + 1] += chunks[c].peer_count[p];
+    }
+  }
   for (int p = 0; p < n_; ++p) {
     s.route_offsets[p + 1] += s.route_offsets[p];
   }
   s.route_cursor.assign(s.route_offsets.begin(),
                         s.route_offsets.begin() + n_);
   s.route_sources.resize(s.route_offsets[n_]);
-  // Scatter pass, fused with the in-place local compaction. Encounter
-  // order within each bucket matches the old per-peer push_back order,
-  // so message bytes are unchanged.
-  return frontier.split_output(
-      [&](VertexT v) { return sub.is_hosted(v); },
-      [&](VertexT v) {
-        s.route_sources[s.route_cursor[sub.owner[v]]++] = v;
-      });
+  SizeT kept_base[util::ThreadPool::kMaxChunks];
+  SizeT kept_total = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    Slice::RouteChunk& ch = chunks[c];
+    kept_base[c] = kept_total;
+    kept_total += static_cast<SizeT>(ch.kept.size());
+    for (int p = 0; p < n_; ++p) {
+      const SizeT count = ch.peer_count[p];
+      ch.peer_count[p] = s.route_cursor[p];
+      s.route_cursor[p] += count;
+    }
+  }
+  // Scatter: disjoint destination ranges, chunk-local sources only
+  // (every read of the output buffer happened in the staging pass, so
+  // the in-place kept writes race nothing).
+  VertexT* out = frontier.mutable_output();
+  host_pool_->run_chunks(n_chunks, [&](std::size_t c) {
+    Slice::RouteChunk& ch = chunks[c];
+    if (!ch.kept.empty()) {
+      std::memcpy(out + kept_base[c], ch.kept.data(),
+                  ch.kept.size() * sizeof(VertexT));
+    }
+    for (const VertexT v : ch.routed) {
+      s.route_sources[ch.peer_count[sub.owner[v]]++] = v;
+    }
+  });
+  frontier.commit_output(kept_total);
+  return kept_total;
 }
 
 void EnactorBase::encode_for_wire(Slice& s, Message& msg,
@@ -680,8 +769,9 @@ void EnactorBase::encode_for_wire(Slice& s, Message& msg,
   const Config& cfg = problem_.config();
   if (cfg.wire_format == WireFormat::kRawIds || msg.empty()) return;
   const std::size_t n = msg.vertices.size();
-  const WireFormat applied = wire::encode(
-      msg, cfg.wire_format, cfg.wire_density_threshold, universe);
+  const WireFormat applied =
+      wire::encode(msg, cfg.wire_format, cfg.wire_density_threshold, universe,
+                   host_pool_);
   if (applied == WireFormat::kRawIds) return;
   // Modeled encode kernel on the sender's compute timeline: the
   // W-vs-H tradeoff the compressed formats buy is charged where the
@@ -694,6 +784,30 @@ void EnactorBase::encode_for_wire(Slice& s, Message& msg,
                                 : "wire_encode_varint");
   // Encoded-vertex accounting happens in CommBus::push (per pushed
   // message, so broadcast clones of one encoded proto each count).
+}
+
+void EnactorBase::fill_associates(Slice& s, std::span<const VertexT> sources,
+                                  Message& msg, int nva, int nvv) {
+  // One gather pass per associate slot, chunked over disjoint source
+  // subranges when the pool is installed. out[i] positions are fixed,
+  // so the packaged bytes are identical at every width.
+  constexpr std::size_t kGatherGrain = 4096;
+  for (int slot = 0; slot < nva; ++slot) {
+    VertexT* out = msg.vertex_slot(slot).data();
+    util::parallel_for(host_pool_, sources.size(), kGatherGrain,
+                       [&](std::size_t b, std::size_t e, std::size_t) {
+                         fill_vertex_associates(
+                             s, slot, sources.subspan(b, e - b), out + b);
+                       });
+  }
+  for (int slot = 0; slot < nvv; ++slot) {
+    ValueT* out = msg.value_slot(slot).data();
+    util::parallel_for(host_pool_, sources.size(), kGatherGrain,
+                       [&](std::size_t b, std::size_t e, std::size_t) {
+                         fill_value_associates(
+                             s, slot, sources.subspan(b, e - b), out + b);
+                       });
+  }
 }
 
 void EnactorBase::split_frontier_and_push(Slice& s) {
@@ -729,12 +843,7 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
       frontier.for_each_output([&](VertexT v) { proto.vertices[i++] = v; });
       const std::span<const VertexT> sent(proto.vertices.data(),
                                           static_cast<std::size_t>(out_items));
-      for (int slot = 0; slot < nva; ++slot) {
-        fill_vertex_associates(s, slot, sent, proto.vertex_slot(slot).data());
-      }
-      for (int slot = 0; slot < nvv; ++slot) {
-        fill_value_associates(s, slot, sent, proto.value_slot(slot).data());
-      }
+      fill_associates(s, sent, proto, nva, nvv);
       if (pipeline_) {
         // The single packaging pass produced every peer's payload, so
         // the whole charge lands before the first push: each transfer
@@ -786,18 +895,16 @@ void EnactorBase::split_frontier_and_push(Slice& s) {
       }
       Message message = bus_->acquire();
       message.set_layout(nva, nvv, sources.size());
-      // Translate to receiver-local IDs (the conversion-table pass).
-      for (std::size_t i = 0; i < sources.size(); ++i) {
-        message.vertices[i] = sub.host_local_id[sources[i]];
-      }
-      for (int slot = 0; slot < nva; ++slot) {
-        fill_vertex_associates(s, slot, sources,
-                               message.vertex_slot(slot).data());
-      }
-      for (int slot = 0; slot < nvv; ++slot) {
-        fill_value_associates(s, slot, sources,
-                              message.value_slot(slot).data());
-      }
+      // Translate to receiver-local IDs (the conversion-table pass; a
+      // disjoint-position gather, so parallel-safe and byte-exact).
+      util::parallel_for(host_pool_, sources.size(), 4096,
+                         [&](std::size_t b, std::size_t e, std::size_t) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             message.vertices[i] =
+                                 sub.host_local_id[sources[i]];
+                           }
+                         });
+      fill_associates(s, sources, message, nva, nvv);
       // Universe: the payload holds receiver-local IDs, so the bitmap
       // spans the receiver's hosted-vertex range.
       encode_for_wire(

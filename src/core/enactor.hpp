@@ -70,6 +70,18 @@ class EnactorBase {
     util::PodVector<SizeT> route_offsets;  ///< n_+1 bucket boundaries
     util::PodVector<SizeT> route_cursor;   ///< scatter cursors (n_)
     util::PodVector<VertexT> route_sources;
+    /// Parallel route-pass staging: each chunk of the output frontier
+    /// collects its kept and routed vertices (in scan order) plus
+    /// per-peer counts into its own cache-line-aligned slot, then the
+    /// slots are scattered to their exact final positions — the same
+    /// stable layout as the sequential pass. Grow-only, reused across
+    /// iterations.
+    struct alignas(64) RouteChunk {
+      util::PodVector<VertexT> kept;
+      util::PodVector<VertexT> routed;
+      util::PodVector<SizeT> peer_count;  ///< n_ per-peer routed counts
+    };
+    std::vector<RouteChunk> route_chunks;
     Message broadcast_proto;
     /// Pipeline mode: this worker's superstep counter (advances in
     /// lockstep across workers through the convergence barrier) and
@@ -129,6 +141,12 @@ class EnactorBase {
   /// once per (message, slot) — a virtual-kernel-shaped gather pass —
   /// instead of once per remote frontier vertex. Only invoked for
   /// slots < num_vertex_associates().
+  ///
+  /// Host-parallelism contract: the framework may invoke a fill hook
+  /// concurrently on disjoint subranges of one message's sources (out
+  /// is offset accordingly), so implementations must be pure gathers —
+  /// read per-vertex state, write only out[i]. Every in-tree primitive
+  /// already satisfies this.
   virtual void fill_vertex_associates(Slice& s, int slot,
                                       std::span<const VertexT> sources,
                                       VertexT* out);
@@ -263,6 +281,19 @@ class EnactorBase {
   /// communicate() call this on each message they build.
   void encode_for_wire(Slice& s, Message& msg, std::size_t universe);
 
+  /// The shared host worker pool, or null when Config::host_threads
+  /// resolves to one worker. Primitives that override communicate()
+  /// may use it (via util::parallel_for) for their own packaging
+  /// gathers; it never changes results, W, H, or modeled times.
+  util::ThreadPool* host_pool() const noexcept { return host_pool_; }
+
+  /// Run the associate fill hooks for one packaged message,
+  /// parallelized over disjoint source subranges when the pool is
+  /// installed (see the fill hook contract above). Output bytes are
+  /// position-exact, so the message is identical at every width.
+  void fill_associates(Slice& s, std::span<const VertexT> sources,
+                       Message& msg, int nva, int nvv);
+
  private:
   enum class ThreadStatus { kWait, kRunning, kIdle, kToKill };
 
@@ -307,6 +338,9 @@ class EnactorBase {
   std::vector<std::unique_ptr<Slice>> slices_;
   std::unique_ptr<CommBus> bus_;
   std::unique_ptr<HandshakeTable> handshakes_;
+  /// Shared host worker pool (util::ThreadPool::shared()), installed
+  /// per enact() from Config::host_threads; null when width == 1.
+  util::ThreadPool* host_pool_ = nullptr;
 
   // Thread management (paper's ThreadSlice protocol).
   std::vector<std::thread> threads_;

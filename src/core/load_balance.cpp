@@ -25,12 +25,46 @@ std::vector<SizeT> degree_scan(const graph::Graph& g,
 }
 
 void degree_scan_into(const graph::Graph& g, std::span<const VertexT> frontier,
-                      util::PodVector<SizeT>& scan) {
-  scan.resize(frontier.size() + 1);
+                      util::PodVector<SizeT>& scan,
+                      util::ThreadPool* pool) {
+  const std::size_t n = frontier.size();
+  scan.resize(n + 1);
   scan[0] = 0;
-  for (std::size_t i = 0; i < frontier.size(); ++i) {
-    scan[i + 1] = scan[i] + g.degree(frontier[i]);
+  constexpr std::size_t kGrain = 4096;
+  const std::size_t n_chunks = util::ThreadPool::chunk_count(n, kGrain);
+  if (pool == nullptr || n_chunks == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      scan[i + 1] = scan[i] + g.degree(frontier[i]);
+    }
+    return;
   }
+  // Two-pass parallel prefix: per-chunk degree sums, serial chunk
+  // bases, then each chunk fills its scan range from its base. Chunk
+  // boundaries depend only on n, and the sums are integers, so the
+  // scan matches the sequential fold bit for bit.
+  SizeT sums[util::ThreadPool::kMaxChunks];
+  pool->run_chunks(n_chunks, [&](std::size_t c) {
+    const std::size_t b = util::ThreadPool::chunk_begin(n, n_chunks, c);
+    const std::size_t e = util::ThreadPool::chunk_begin(n, n_chunks, c + 1);
+    SizeT sum = 0;
+    for (std::size_t i = b; i < e; ++i) sum += g.degree(frontier[i]);
+    sums[c] = sum;
+  });
+  SizeT base = 0;
+  SizeT bases[util::ThreadPool::kMaxChunks];
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    bases[c] = base;
+    base += sums[c];
+  }
+  pool->run_chunks(n_chunks, [&](std::size_t c) {
+    const std::size_t b = util::ThreadPool::chunk_begin(n, n_chunks, c);
+    const std::size_t e = util::ThreadPool::chunk_begin(n, n_chunks, c + 1);
+    SizeT acc = bases[c];
+    for (std::size_t i = b; i < e; ++i) {
+      acc += g.degree(frontier[i]);
+      scan[i + 1] = acc;
+    }
+  });
 }
 
 namespace {

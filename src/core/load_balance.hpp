@@ -22,6 +22,7 @@
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 #include "util/pod_vector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mgg::core {
 
@@ -41,9 +42,13 @@ std::vector<SizeT> degree_scan(const graph::Graph& g,
 /// Allocation-free variant: writes the scan into caller-owned scratch
 /// (resized to frontier.size() + 1, no reallocation once warm). This
 /// is what the operators use per launch so imbalance accounting costs
-/// no heap traffic in steady state.
+/// no heap traffic in steady state. With a pool the scan runs as a
+/// two-pass parallel prefix (per-chunk degree sums, serial bases,
+/// parallel fill) — integer arithmetic, so the result is bit-identical
+/// to the sequential scan at every pool width.
 void degree_scan_into(const graph::Graph& g, std::span<const VertexT> frontier,
-                      util::PodVector<SizeT>& scan);
+                      util::PodVector<SizeT>& scan,
+                      util::ThreadPool* pool = nullptr);
 
 /// One worker's slice of the frontier's edge work.
 struct WorkChunk {

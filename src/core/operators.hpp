@@ -35,9 +35,25 @@
 // direction-optimizing traversal (§VI-A): it parallelizes across
 // vertices so a vertex can stop scanning edges as soon as it finds a
 // valid parent ("edge skipping").
+//
+// Host parallelism (docs/architecture.md §12): when OpContext::pool is
+// set, the advance pipelines run on the shared util::ThreadPool as a
+// two-phase schedule — a parallel phase over fixed, thread-count-
+// independent chunks evaluates a pure per-edge *test* and logs the
+// surviving candidates into cache-line-aligned per-chunk buffers, then
+// a sequential phase replays the original functor over the
+// concatenated logs in chunk order. Because a failed test implies the
+// functor would have been a side-effect-free `false`, the replay *is*
+// the historical sequential loop over the same edges: output
+// frontiers, dedup decisions, W counters, and every floating-point
+// accumulation are bit-identical to the sequential pipeline at every
+// --host-threads value. add_kernel_cost still charges the same work
+// regardless of worker count — the pool only changes wall-clock time.
 #pragma once
 
+#include <cstring>
 #include <span>
+#include <vector>
 
 #include "core/frontier.hpp"
 #include "core/load_balance.hpp"
@@ -45,9 +61,43 @@
 #include "util/array1d.hpp"
 #include "util/bitset.hpp"
 #include "util/pod_vector.hpp"
+#include "util/thread_pool.hpp"
 #include "vgpu/device.hpp"
 
 namespace mgg::core {
+
+/// Per-chunk scratch slot for the two-phase parallel advance. Each
+/// chunk of the parallel phase appends only to its own slot;
+/// alignas(64) keeps neighboring slots' hot counters and vector
+/// headers on distinct cache lines (the false-sharing audit of the
+/// PodVector-backed chunk buffers). Slots are reused across launches:
+/// the PodVectors keep their high-water capacity, so the steady-state
+/// parallel pipeline performs zero heap allocations.
+struct alignas(64) AdvanceChunk {
+  /// One logged candidate of the generic two-phase advance.
+  struct Rec {
+    VertexT src;
+    VertexT dst;
+    SizeT e;
+  };
+  util::PodVector<Rec> recs;       ///< candidate log (test+functor form)
+  util::PodVector<VertexT> verts;  ///< dsts (value form) / pull emissions
+  util::PodVector<double> values;  ///< value log; floats stored exactly
+  std::uint64_t work = 0;          ///< edges this chunk traversed
+  SizeT produced = 0;
+
+  void reset() {
+    recs.clear();
+    verts.clear();
+    values.clear();
+    work = 0;
+    produced = 0;
+  }
+  std::size_t capacity_bytes() const {
+    return recs.capacity() * sizeof(Rec) + verts.capacity() * sizeof(VertexT) +
+           values.capacity() * sizeof(double);
+  }
+};
 
 /// Everything an operator needs about its execution site. Owned by the
 /// enactor's per-GPU slice; primitives receive it in iteration_core.
@@ -77,14 +127,47 @@ struct OpContext {
   /// per-launch heap allocations in steady state.
   util::PodVector<SizeT> lb_scan;
   util::PodVector<WorkChunk> lb_chunks;
+  /// Host worker pool backing the parallel execution substrate; null
+  /// means every operator runs its historical sequential loop. Either
+  /// way the results, W, H, and modeled times are bit-identical — the
+  /// enactor only installs the pool when Config::host_threads resolves
+  /// to more than one worker.
+  util::ThreadPool* pool = nullptr;
+  /// Per-chunk scratch of the two-phase parallel advance (grow-only,
+  /// reused across launches).
+  std::vector<AdvanceChunk> par_chunks;
 
   bool fused() const {
     return scheme == vgpu::AllocationScheme::kJustEnough ||
            scheme == vgpu::AllocationScheme::kPreallocFusion;
   }
+
+  /// Steady-state scratch footprint (capacity, not size) across the
+  /// chunk slots — the zero-allocation regression asserts this stops
+  /// growing once the pipeline is warm.
+  std::size_t par_scratch_bytes() const {
+    std::size_t total = 0;
+    for (const AdvanceChunk& c : par_chunks) total += c.capacity_bytes();
+    return total;
+  }
 };
 
 namespace detail {
+
+// Chunk grains of the parallel phase. Chunk counts are pure functions
+// of the work size (util::ThreadPool::chunk_count), never of the pool
+// width — the cross-thread-count determinism contract.
+inline constexpr std::size_t kSlotGrain = 256;   ///< frontier slots
+inline constexpr std::size_t kWordGrain = 64;    ///< dense bitmap words
+inline constexpr std::size_t kItemGrain = 4096;  ///< flat array items
+
+/// Grow (never shrink) the chunk scratch and reset the first n slots.
+inline std::vector<AdvanceChunk>& ensure_chunks(OpContext& ctx,
+                                                std::size_t n) {
+  if (ctx.par_chunks.size() < n) ctx.par_chunks.resize(n);
+  for (std::size_t c = 0; c < n; ++c) ctx.par_chunks[c].reset();
+  return ctx.par_chunks;
+}
 
 /// Sum of out-degrees over the input frontier: the exact advance
 /// output bound. The split pipeline still runs this as its sizing pass
@@ -105,7 +188,7 @@ inline double advance_imbalance(OpContext& ctx,
   if (ctx.load_balance == LoadBalance::kEdgeBalanced || input.empty()) {
     return 1.0;
   }
-  degree_scan_into(*ctx.g, input, ctx.lb_scan);
+  degree_scan_into(*ctx.g, input, ctx.lb_scan, ctx.pool);
   partition_work_into(ctx.lb_scan, ctx.lb_workers, ctx.load_balance,
                       ctx.lb_chunks);
   return chunk_imbalance(ctx.lb_chunks);
@@ -163,6 +246,127 @@ SizeT advance_filter_dense(OpContext& ctx, EdgeOp& op) {
   return produced;
 }
 
+/// The dense-vs-sparse representation decision shared by every advance
+/// entry point (the push-side analog of DOBFS's direction switch): go
+/// dense when the frontier covers enough of |V_i|, fall back to sparse
+/// when it shrinks again. A conversion is a real pass over the
+/// frontier and is charged as vertex work. Returns whether the advance
+/// should iterate the bitmap.
+inline bool prepare_advance(OpContext& ctx) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  const bool want_dense =
+      ctx.dense_threshold > 0 &&
+      static_cast<double>(frontier.input_size()) >
+          ctx.dense_threshold * static_cast<double>(g.num_vertices);
+  if (want_dense != frontier.input_dense()) {
+    const SizeT items = frontier.input_size();
+    const bool converted =
+        want_dense ? frontier.input_to_dense() : frontier.input_to_sparse();
+    if (converted)
+      ctx.device->add_kernel_cost(0, items, 1, 1.0, "frontier_convert");
+  }
+  frontier.note_advance_mode(frontier.input_dense());
+  return frontier.input_dense();
+}
+
+/// Two-phase parallel dense advance. Phase 1 chunks the input bitmap
+/// by fixed word ranges and logs every candidate passing `test`;
+/// phase 2 replays `op` over the logs in chunk order — ascending
+/// vertex order, i.e. exactly the sequential bitmap walk. Falls back
+/// to the sequential kernel for small inputs or without a pool (same
+/// results either way).
+template <typename TestOp, typename EdgeOp>
+SizeT advance_filter_dense_two_phase(OpContext& ctx, TestOp& test,
+                                     EdgeOp& op) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  const SizeT n_words = frontier.mask_words();
+  const std::size_t n_chunks =
+      util::ThreadPool::chunk_count(n_words, kWordGrain);
+  if (ctx.pool == nullptr || n_chunks == 1) {
+    return advance_filter_dense(ctx, op);
+  }
+  const std::uint64_t* in_words = frontier.input_words();
+  std::uint64_t* out = frontier.dense_output();
+  auto& chunks = ensure_chunks(ctx, n_chunks);
+  ctx.pool->run_chunks(n_chunks, [&](std::size_t c) {
+    AdvanceChunk& ch = chunks[c];
+    const std::size_t wb =
+        util::ThreadPool::chunk_begin(n_words, n_chunks, c);
+    const std::size_t we =
+        util::ThreadPool::chunk_begin(n_words, n_chunks, c + 1);
+    for (std::size_t w = wb; w < we; ++w) {
+      std::uint64_t bits = in_words[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const VertexT src = static_cast<VertexT>((w << 6) + b);
+        const auto [begin, end] = g.edge_range(src);
+        ch.work += end - begin;
+        for (SizeT e = begin; e < end; ++e) {
+          const VertexT dst = g.col_indices[e];
+          if (test(src, dst, e)) ch.recs.push_back({src, dst, e});
+        }
+      }
+    }
+  });
+  SizeT work = 0;
+  SizeT produced = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const AdvanceChunk& ch = chunks[c];
+    work += static_cast<SizeT>(ch.work);
+    for (const AdvanceChunk::Rec& r : ch.recs) {
+      if (op(r.src, r.dst, r.e)) {
+        std::uint64_t& word = out[r.dst >> 6];
+        const std::uint64_t bit = 1ULL << (r.dst & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++produced;
+        }
+      }
+    }
+  }
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(work, frontier.input_size(), 1,
+                              advance_imbalance_dense(ctx), "advance_dense");
+  return produced;
+}
+
+/// Split-pipeline advance kernel: materialize every (src, edge)
+/// candidate of the input frontier into the intermediate buffers and
+/// charge the sizing-pass work. With a pool the scatter runs in
+/// parallel off the degree scan's exact per-slot offsets, producing
+/// the identical buffer layout as the sequential fill. Returns the
+/// candidate count.
+inline SizeT split_materialize(OpContext& ctx,
+                               std::span<const VertexT> input) {
+  const graph::Graph& g = *ctx.g;
+  degree_scan_into(g, input, ctx.lb_scan, ctx.pool);
+  const SizeT work = input.empty() ? 0 : ctx.lb_scan.back();
+  util::Array1D<VertexT>& temp = *ctx.advance_temp;
+  util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
+  temp.ensure_size(work);
+  temp_edges.ensure_size(work);
+  util::parallel_for(
+      ctx.pool, input.size(), kSlotGrain,
+      [&](std::size_t b, std::size_t end, std::size_t) {
+        for (std::size_t slot = b; slot < end; ++slot) {
+          const VertexT src = input[slot];
+          SizeT at = ctx.lb_scan[slot];
+          const auto [begin, last] = g.edge_range(src);
+          for (SizeT e = begin; e < last; ++e) {
+            temp[at] = src;
+            temp_edges[at] = e;
+            ++at;
+          }
+        }
+      });
+  ctx.device->add_kernel_cost(work, input.size(), 1,
+                              advance_imbalance(ctx, input), "advance");
+  return work;
+}
+
 }  // namespace detail
 
 /// Advance + filter: expand every edge of the input frontier, apply
@@ -176,28 +380,18 @@ SizeT advance_filter_dense(OpContext& ctx, EdgeOp& op) {
 /// (edges / vertices / launches) are identical across the fused and
 /// split pipelines and across frontier representations; only modeled
 /// time differs.
+///
+/// This form runs the functor as one sequential loop even when a pool
+/// is installed: a bare functor may carry cross-edge ordering
+/// dependencies (SSSP's relaxations read distances earlier edges
+/// wrote), which only the primitive can rule out. Order-free
+/// primitives opt into host parallelism via the (test, op) and
+/// (test, value, commit) forms below.
 template <typename EdgeOp>
 SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
   const graph::Graph& g = *ctx.g;
   Frontier& frontier = *ctx.frontier;
-
-  // Representation decision (the push-side analog of DOBFS's direction
-  // switch): go dense when the frontier covers enough of |V_i|, fall
-  // back to sparse when it shrinks again. A conversion is a real pass
-  // over the frontier and is charged as vertex work.
-  const bool want_dense =
-      ctx.dense_threshold > 0 &&
-      static_cast<double>(frontier.input_size()) >
-          ctx.dense_threshold * static_cast<double>(g.num_vertices);
-  if (want_dense != frontier.input_dense()) {
-    const SizeT items = frontier.input_size();
-    const bool converted =
-        want_dense ? frontier.input_to_dense() : frontier.input_to_sparse();
-    if (converted)
-      ctx.device->add_kernel_cost(0, items, 1, 1.0, "frontier_convert");
-  }
-  frontier.note_advance_mode(frontier.input_dense());
-  if (frontier.input_dense()) {
+  if (detail::prepare_advance(ctx)) {
     return detail::advance_filter_dense(ctx, op);
   }
 
@@ -229,26 +423,14 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
   }
 
   // Split pipeline: advance materializes every (src, edge) candidate
-  // into the intermediate buffer...
-  const SizeT work = detail::degree_sum(g, input);
+  // into the intermediate buffer (scatter parallelized off the degree
+  // scan; identical layout at every pool width)...
+  const SizeT n_raw = detail::split_materialize(ctx, input);
   util::Array1D<VertexT>& temp = *ctx.advance_temp;
   util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
-  temp.ensure_size(work);
-  temp_edges.ensure_size(work);
-  SizeT n_raw = 0;
-  for (const VertexT src : input) {
-    const auto [begin, end] = g.edge_range(src);
-    for (SizeT e = begin; e < end; ++e) {
-      temp[n_raw] = src;
-      temp_edges[n_raw] = e;
-      ++n_raw;
-    }
-  }
-  ctx.device->add_kernel_cost(work, input.size(), 1,
-                              detail::advance_imbalance(ctx, input),
-                              "advance");
 
-  // ...then filter applies the functor and compacts survivors.
+  // ...then filter applies the functor and compacts survivors
+  // (sequential: the bare-functor ordering caveat above).
   const SizeT bound = std::min<SizeT>(n_raw, g.num_vertices);
   VertexT* out = frontier.request_output(bound);
   SizeT produced = 0;
@@ -266,11 +448,261 @@ SizeT advance_filter(OpContext& ctx, EdgeOp&& op) {
   return produced;
 }
 
+/// Two-phase parallel advance + filter for order-free functors.
+///
+/// Contract: `test(src, dst, e)` is pure over state that `op` mutates
+/// during this advance (it may read anything written before the
+/// launch), and `test(...) == false` implies `op(src, dst, e)` would
+/// have been a side-effect-free `false`. BFS's functor is the
+/// archetype: test = "labels[dst] still unvisited"; every edge failing
+/// it is a no-op in the sequential loop.
+///
+/// Phase 1 walks fixed, thread-count-independent chunks of the input
+/// in parallel, summing per-chunk edge work and logging candidates
+/// that pass `test`. Phase 2 replays `op` (with the historical dedup
+/// and output writes) over the concatenated logs in chunk order —
+/// which is the original sequential loop over exactly the edges whose
+/// functor call was not a no-op. Results, W, and dedup decisions are
+/// therefore bit-identical to advance_filter(ctx, op) at every pool
+/// width, including none.
+template <typename TestOp, typename EdgeOp>
+SizeT advance_filter(OpContext& ctx, TestOp&& test, EdgeOp&& op) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  if (detail::prepare_advance(ctx)) {
+    return detail::advance_filter_dense_two_phase(ctx, test, op);
+  }
+
+  const auto input = frontier.input();
+  if (ctx.fused()) {
+    VertexT* out = frontier.request_output(g.num_vertices);
+    SizeT produced = 0;
+    SizeT work = 0;
+    const std::size_t n_chunks =
+        util::ThreadPool::chunk_count(input.size(), detail::kSlotGrain);
+    if (ctx.pool == nullptr || n_chunks == 1) {
+      for (const VertexT src : input) {
+        const auto [begin, end] = g.edge_range(src);
+        work += end - begin;
+        for (SizeT e = begin; e < end; ++e) {
+          const VertexT dst = g.col_indices[e];
+          if (op(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+            out[produced++] = dst;
+          }
+        }
+      }
+    } else {
+      auto& chunks = detail::ensure_chunks(ctx, n_chunks);
+      ctx.pool->run_chunks(n_chunks, [&](std::size_t c) {
+        AdvanceChunk& ch = chunks[c];
+        const std::size_t b =
+            util::ThreadPool::chunk_begin(input.size(), n_chunks, c);
+        const std::size_t last =
+            util::ThreadPool::chunk_begin(input.size(), n_chunks, c + 1);
+        for (std::size_t slot = b; slot < last; ++slot) {
+          const VertexT src = input[slot];
+          const auto [begin, end] = g.edge_range(src);
+          ch.work += end - begin;
+          for (SizeT e = begin; e < end; ++e) {
+            const VertexT dst = g.col_indices[e];
+            if (test(src, dst, e)) ch.recs.push_back({src, dst, e});
+          }
+        }
+      });
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        const AdvanceChunk& ch = chunks[c];
+        work += static_cast<SizeT>(ch.work);
+        for (const AdvanceChunk::Rec& r : ch.recs) {
+          if (op(r.src, r.dst, r.e) && ctx.dedup->test_and_set(r.dst)) {
+            out[produced++] = r.dst;
+          }
+        }
+      }
+    }
+    for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+    frontier.commit_output(produced);
+    ctx.device->add_kernel_cost(work, input.size(), 1,
+                                detail::advance_imbalance(ctx, input),
+                                "advance_filter");
+    return produced;
+  }
+
+  // Split pipeline: parallel materialize, then a two-phase filter over
+  // the intermediate buffer (fixed chunks over the candidate array).
+  const SizeT n_raw = detail::split_materialize(ctx, input);
+  util::Array1D<VertexT>& temp = *ctx.advance_temp;
+  util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
+  const SizeT bound = std::min<SizeT>(n_raw, g.num_vertices);
+  VertexT* out = frontier.request_output(bound);
+  SizeT produced = 0;
+  const std::size_t n_chunks =
+      util::ThreadPool::chunk_count(n_raw, detail::kItemGrain);
+  if (ctx.pool == nullptr || n_chunks == 1) {
+    for (SizeT i = 0; i < n_raw; ++i) {
+      const VertexT src = temp[i];
+      const SizeT e = temp_edges[i];
+      const VertexT dst = g.col_indices[e];
+      if (op(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+        out[produced++] = dst;
+      }
+    }
+  } else {
+    auto& chunks = detail::ensure_chunks(ctx, n_chunks);
+    ctx.pool->run_chunks(n_chunks, [&](std::size_t c) {
+      AdvanceChunk& ch = chunks[c];
+      const std::size_t b =
+          util::ThreadPool::chunk_begin(n_raw, n_chunks, c);
+      const std::size_t last =
+          util::ThreadPool::chunk_begin(n_raw, n_chunks, c + 1);
+      for (std::size_t i = b; i < last; ++i) {
+        const VertexT src = temp[i];
+        const SizeT e = temp_edges[i];
+        const VertexT dst = g.col_indices[e];
+        if (test(src, dst, e)) ch.recs.push_back({src, dst, e});
+      }
+    });
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      for (const AdvanceChunk::Rec& r : chunks[c].recs) {
+        if (op(r.src, r.dst, r.e) && ctx.dedup->test_and_set(r.dst)) {
+          out[produced++] = r.dst;
+        }
+      }
+    }
+  }
+  for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(0, n_raw, 1, 1.0, "filter_compact");
+  return produced;
+}
+
+/// Two-phase parallel advance whose replayed commit consumes a value
+/// computed during the parallel phase — the "fixed per-chunk partials
+/// reduced in chunk order" form for floating-point accumulations
+/// (PageRank rank pushes, BC sigma partials).
+///
+/// Contract: `test` as in the (test, op) form; `value(src, dst, e)`
+/// reads only state that is stable for the whole advance (PR's ranks
+/// are finalized before the push, BC's sigmas before the level
+/// expansion); `commit(dst, v)` performs the mutation + "emit dst?"
+/// decision and must equal the original functor with v inlined.
+/// Phase 2 replays commit over the logs in chunk order, so the
+/// floating-point accumulation order is exactly the sequential loop's
+/// — bit-identical results at every pool width. Values round-trip
+/// through double, which is exact for float and double payloads.
+template <typename TestOp, typename ValueOp, typename CommitOp>
+SizeT advance_filter_values(OpContext& ctx, TestOp&& test, ValueOp&& value,
+                            CommitOp&& commit) {
+  const graph::Graph& g = *ctx.g;
+  Frontier& frontier = *ctx.frontier;
+  using Val = std::decay_t<decltype(value(VertexT{}, VertexT{}, SizeT{}))>;
+  auto op_equiv = [&](VertexT src, VertexT dst, SizeT e) {
+    return commit(dst, value(src, dst, e));
+  };
+  if (detail::prepare_advance(ctx)) {
+    // Dense frontiers fall back to the sequential bitmap kernel (the
+    // value-log variant exists for FP exactness, which the sequential
+    // walk has by construction; same code at every width).
+    return detail::advance_filter_dense(ctx, op_equiv);
+  }
+
+  const auto input = frontier.input();
+  if (!ctx.fused()) {
+    // Split pipeline: parallel materialize; the filter replays the
+    // equivalent functor sequentially (consistent at every width).
+    const SizeT n_raw = detail::split_materialize(ctx, input);
+    util::Array1D<VertexT>& temp = *ctx.advance_temp;
+    util::Array1D<SizeT>& temp_edges = *ctx.advance_temp_edges;
+    const SizeT bound = std::min<SizeT>(n_raw, g.num_vertices);
+    VertexT* out = frontier.request_output(bound);
+    SizeT produced = 0;
+    for (SizeT i = 0; i < n_raw; ++i) {
+      const VertexT src = temp[i];
+      const SizeT e = temp_edges[i];
+      const VertexT dst = g.col_indices[e];
+      if (op_equiv(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+        out[produced++] = dst;
+      }
+    }
+    for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+    frontier.commit_output(produced);
+    ctx.device->add_kernel_cost(0, n_raw, 1, 1.0, "filter_compact");
+    return produced;
+  }
+
+  VertexT* out = frontier.request_output(g.num_vertices);
+  SizeT produced = 0;
+  SizeT work = 0;
+  const std::size_t n_chunks =
+      util::ThreadPool::chunk_count(input.size(), detail::kSlotGrain);
+  if (ctx.pool == nullptr || n_chunks == 1) {
+    for (const VertexT src : input) {
+      const auto [begin, end] = g.edge_range(src);
+      work += end - begin;
+      for (SizeT e = begin; e < end; ++e) {
+        const VertexT dst = g.col_indices[e];
+        if (op_equiv(src, dst, e) && ctx.dedup->test_and_set(dst)) {
+          out[produced++] = dst;
+        }
+      }
+    }
+  } else {
+    auto& chunks = detail::ensure_chunks(ctx, n_chunks);
+    ctx.pool->run_chunks(n_chunks, [&](std::size_t c) {
+      AdvanceChunk& ch = chunks[c];
+      const std::size_t b =
+          util::ThreadPool::chunk_begin(input.size(), n_chunks, c);
+      const std::size_t last =
+          util::ThreadPool::chunk_begin(input.size(), n_chunks, c + 1);
+      for (std::size_t slot = b; slot < last; ++slot) {
+        const VertexT src = input[slot];
+        const auto [begin, end] = g.edge_range(src);
+        ch.work += end - begin;
+        for (SizeT e = begin; e < end; ++e) {
+          const VertexT dst = g.col_indices[e];
+          if (test(src, dst, e)) {
+            ch.verts.push_back(dst);
+            ch.values.push_back(static_cast<double>(value(src, dst, e)));
+          }
+        }
+      }
+    });
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const AdvanceChunk& ch = chunks[c];
+      work += static_cast<SizeT>(ch.work);
+      for (std::size_t i = 0; i < ch.verts.size(); ++i) {
+        const VertexT dst = ch.verts[i];
+        if (commit(dst, static_cast<Val>(ch.values[i])) &&
+            ctx.dedup->test_and_set(dst)) {
+          out[produced++] = dst;
+        }
+      }
+    }
+  }
+  for (SizeT i = 0; i < produced; ++i) ctx.dedup->clear_bit(out[i]);
+  frontier.commit_output(produced);
+  ctx.device->add_kernel_cost(work, input.size(), 1,
+                              detail::advance_imbalance(ctx, input),
+                              "advance_filter");
+  return produced;
+}
+
 /// Per-vertex pull advance (§VI-A). For each candidate vertex, scan its
 /// neighbor list and stop at the first neighbor for which
 /// `try_parent(candidate, parent, edge)` returns true; emit the
 /// candidate. Edge skipping makes the charged edge work the number of
 /// edges actually scanned, not the full degree sum.
+///
+/// Host parallelism: candidates are chunked into fixed ranges; each
+/// chunk scans independently and collects its emissions locally, and
+/// the chunk lists are concatenated in chunk order — ascending
+/// candidate order, identical to the sequential loop. `try_parent`'s
+/// side effects must be confined to the candidate vertex (DOBFS
+/// commits labels[v]/preds[v], each candidate's own slots), and any
+/// shared state it *reads* that another candidate may commit
+/// concurrently (DOBFS reads labels[parent]) must be accessed with
+/// relaxed atomics: the read's outcome never changes the decision —
+/// frontier parents were labeled before the launch — but the access
+/// itself must be race-free.
 template <typename ParentOp>
 SizeT advance_pull(OpContext& ctx, std::span<const VertexT> candidates,
                    ParentOp&& try_parent) {
@@ -280,13 +712,46 @@ SizeT advance_pull(OpContext& ctx, std::span<const VertexT> candidates,
       frontier.request_output(static_cast<SizeT>(candidates.size()));
   SizeT produced = 0;
   std::uint64_t scanned = 0;
-  for (const VertexT v : candidates) {
-    const auto [begin, end] = g.edge_range(v);
-    for (SizeT e = begin; e < end; ++e) {
-      ++scanned;
-      if (try_parent(v, g.col_indices[e], e)) {
-        out[produced++] = v;
-        break;  // edge skipping: a valid parent ends the scan
+  const std::size_t n_chunks =
+      util::ThreadPool::chunk_count(candidates.size(), detail::kSlotGrain);
+  if (ctx.pool == nullptr || n_chunks == 1) {
+    for (const VertexT v : candidates) {
+      const auto [begin, end] = g.edge_range(v);
+      for (SizeT e = begin; e < end; ++e) {
+        ++scanned;
+        if (try_parent(v, g.col_indices[e], e)) {
+          out[produced++] = v;
+          break;  // edge skipping: a valid parent ends the scan
+        }
+      }
+    }
+  } else {
+    auto& chunks = detail::ensure_chunks(ctx, n_chunks);
+    ctx.pool->run_chunks(n_chunks, [&](std::size_t c) {
+      AdvanceChunk& ch = chunks[c];
+      const std::size_t b =
+          util::ThreadPool::chunk_begin(candidates.size(), n_chunks, c);
+      const std::size_t last =
+          util::ThreadPool::chunk_begin(candidates.size(), n_chunks, c + 1);
+      for (std::size_t i = b; i < last; ++i) {
+        const VertexT v = candidates[i];
+        const auto [begin, end] = g.edge_range(v);
+        for (SizeT e = begin; e < end; ++e) {
+          ++ch.work;
+          if (try_parent(v, g.col_indices[e], e)) {
+            ch.verts.push_back(v);
+            break;
+          }
+        }
+      }
+    });
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const AdvanceChunk& ch = chunks[c];
+      scanned += ch.work;
+      if (!ch.verts.empty()) {
+        std::memcpy(out + produced, ch.verts.data(),
+                    ch.verts.size() * sizeof(VertexT));
+        produced += static_cast<SizeT>(ch.verts.size());
       }
     }
   }

@@ -57,6 +57,13 @@ struct Config {
   /// 1/32 density; 1/16 leaves margin for the varint's wins on sparse
   /// ascending buckets.
   double wire_density_threshold = 1.0 / 16;
+  /// Host worker threads backing the shared util::ThreadPool that the
+  /// kernel-execution hot paths (advance pipelines, gather packaging,
+  /// wire encode/decode, route pass, load-balance scan) run on.
+  /// 0 = auto (hardware concurrency, capped at 8). Results, frontiers,
+  /// W, H, and modeled times are bit-identical at every width — the
+  /// pool only changes wall-clock time (docs/architecture.md §12).
+  int host_threads = 0;
 
   // --- Fault-recovery knobs (all defaults preserve pre-recovery
   // behavior bit-identically; see docs/architecture.md §10) ---

@@ -90,17 +90,31 @@ void BcEnactor::core_forward(Slice& s) {
   for (const VertexT v : lvl) d.sigma[v] = d.sigma_acc[v];
   s.device->add_kernel_cost(0, input.size(), 1, 1.0, "bc_level");
 
-  core::advance_filter(s.ctx, [&](VertexT u, VertexT v, SizeT) {
-    if (d.depth[v] == kInvalidVertex) {
-      d.depth[v] = next_level;
-      d.sigma_acc[v] += d.sigma[u];
-      return true;
-    }
-    if (d.depth[v] == next_level) {
-      d.sigma_acc[v] += d.sigma[u];  // another shortest path
-    }
-    return false;
-  });
+  // (test, value, commit) form: sigma for this level's sources was
+  // finalized just above and is not written by the advance, so each
+  // edge's contribution is computable in the parallel phase. The test
+  // covers both live cases (undiscovered, or discovered *by this
+  // advance* at next_level — the latter is always false against the
+  // pre-advance depths, but every edge that matters passes the
+  // undiscovered test then). The commit replay accumulates sigma_acc
+  // in the original sequential edge order.
+  core::advance_filter_values(
+      s.ctx,
+      [&](VertexT, VertexT v, SizeT) {
+        return d.depth[v] == kInvalidVertex || d.depth[v] == next_level;
+      },
+      [&](VertexT u, VertexT, SizeT) { return d.sigma[u]; },
+      [&](VertexT v, double sigma_u) {
+        if (d.depth[v] == kInvalidVertex) {
+          d.depth[v] = next_level;
+          d.sigma_acc[v] += sigma_u;
+          return true;
+        }
+        if (d.depth[v] == next_level) {
+          d.sigma_acc[v] += sigma_u;  // another shortest path
+        }
+        return false;
+      });
 }
 
 void BcEnactor::core_backward(Slice& s) {
@@ -110,22 +124,66 @@ void BcEnactor::core_backward(Slice& s) {
 
   std::uint64_t edge_work = 0;
   if (lvl < d.levels.size()) {
-    for (const VertexT w : d.levels[lvl]) {
-      const double delta_w = d.delta_acc[w];
-      d.bc[w] += delta_w;
-      const double coeff = (1.0 + delta_w) / d.sigma[w];
-      const auto [begin, end] = g.edge_range(w);
-      for (SizeT e = begin; e < end; ++e) {
-        const VertexT v = g.col_indices[e];
-        if (d.depth[v] + 1 == d.depth[w]) {
-          d.delta_acc[v] += d.sigma[v] * coeff;
+    const auto& level = d.levels[lvl];
+    util::ThreadPool* pool = s.ctx.pool;
+    const std::size_t n_chunks =
+        util::ThreadPool::chunk_count(level.size(), core::detail::kSlotGrain);
+    if (pool == nullptr || n_chunks == 1) {
+      for (const VertexT w : level) {
+        const double delta_w = d.delta_acc[w];
+        d.bc[w] += delta_w;
+        const double coeff = (1.0 + delta_w) / d.sigma[w];
+        const auto [begin, end] = g.edge_range(w);
+        for (SizeT e = begin; e < end; ++e) {
+          const VertexT v = g.col_indices[e];
+          if (d.depth[v] + 1 == d.depth[w]) {
+            d.delta_acc[v] += d.sigma[v] * coeff;
+          }
         }
+        edge_work += end - begin;
       }
-      edge_work += end - begin;
+    } else {
+      // Two-phase chunk-log parallelization. Sources w sit at depth
+      // lvl and targets v at depth lvl-1, so the parallel phase's
+      // bc[w] += delta_w writes (each w appears once per level) and
+      // delta_acc[w] / sigma / depth reads never alias another
+      // chunk's work; each per-edge contribution sigma[v]*coeff is a
+      // pure product of advance-stable values. The delta_acc[v]
+      // accumulations — the only cross-w mutation — are logged and
+      // replayed in chunk order, i.e. the sequential loop's exact
+      // floating-point order.
+      auto& chunks = core::detail::ensure_chunks(s.ctx, n_chunks);
+      pool->run_chunks(n_chunks, [&](std::size_t c) {
+        core::AdvanceChunk& ch = chunks[c];
+        const std::size_t b =
+            util::ThreadPool::chunk_begin(level.size(), n_chunks, c);
+        const std::size_t e =
+            util::ThreadPool::chunk_begin(level.size(), n_chunks, c + 1);
+        for (std::size_t i = b; i < e; ++i) {
+          const VertexT w = level[i];
+          const double delta_w = d.delta_acc[w];
+          d.bc[w] += delta_w;
+          const double coeff = (1.0 + delta_w) / d.sigma[w];
+          const auto [begin, end] = g.edge_range(w);
+          for (SizeT e2 = begin; e2 < end; ++e2) {
+            const VertexT v = g.col_indices[e2];
+            if (d.depth[v] + 1 == d.depth[w]) {
+              ch.verts.push_back(v);
+              ch.values.push_back(d.sigma[v] * coeff);
+            }
+          }
+          ch.work += end - begin;
+        }
+      });
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        const core::AdvanceChunk& ch = chunks[c];
+        for (std::size_t i = 0; i < ch.verts.size(); ++i) {
+          d.delta_acc[ch.verts[i]] += ch.values[i];
+        }
+        edge_work += ch.work;
+      }
     }
-    s.device->add_kernel_cost(
-        edge_work, lvl < d.levels.size() ? d.levels[lvl].size() : 0, 1, 1.0,
-        "bc_backward");
+    s.device->add_kernel_cost(edge_work, level.size(), 1, 1.0, "bc_backward");
   }
   s.frontier.request_output(0);
   s.frontier.commit_output(0);

@@ -64,12 +64,21 @@ void BfsEnactor::iteration_core(Slice& s) {
   const VertexT next_label = static_cast<VertexT>(iteration()) + 1;
   const auto& local_to_global = s.sub->local_to_global;
 
-  core::advance_filter(s.ctx, [&](VertexT src, VertexT dst, SizeT) {
-    if (d.labels[dst] != kInvalidVertex) return false;
-    d.labels[dst] = next_label;
-    if (mark_preds) d.preds[dst] = local_to_global[src];
-    return true;
-  });
+  // Split test/commit form: the candidate test (an unvisited
+  // destination) is pure over the labels at advance start, so the
+  // edge sweep can run on the host pool; the commit replay keeps the
+  // first-discoverer-wins predecessor choice of the sequential loop.
+  core::advance_filter(
+      s.ctx,
+      [&](VertexT, VertexT dst, SizeT) {
+        return d.labels[dst] == kInvalidVertex;
+      },
+      [&](VertexT src, VertexT dst, SizeT) {
+        if (d.labels[dst] != kInvalidVertex) return false;
+        d.labels[dst] = next_label;
+        if (mark_preds) d.preds[dst] = local_to_global[src];
+        return true;
+      });
 }
 
 int BfsEnactor::num_vertex_associates() const {

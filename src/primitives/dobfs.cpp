@@ -1,5 +1,7 @@
 #include "primitives/dobfs.hpp"
 
+#include <atomic>
+
 #include "primitives/common.hpp"
 #include "util/error.hpp"
 
@@ -98,13 +100,22 @@ void DobfsEnactor::core_forward(Slice& s) {
   const part::SubGraph& sub = *s.sub;
   std::uint64_t discovered_hosted = 0;
 
-  core::advance_filter(s.ctx, [&](VertexT src, VertexT dst, SizeT) {
-    if (d.labels[dst] != kInvalidVertex) return false;
-    d.labels[dst] = next_label;
-    if (mark_preds) d.preds[dst] = src;  // duplicate-all: local == global
-    if (sub.is_hosted(dst)) ++discovered_hosted;
-    return true;
-  });
+  // Split test/commit form (see BfsEnactor::iteration_core): the
+  // unvisited test is pure, so the edge sweep parallelizes; the
+  // commit replay (and with it discovered_hosted) stays sequential
+  // and bit-identical to the historical loop.
+  core::advance_filter(
+      s.ctx,
+      [&](VertexT, VertexT dst, SizeT) {
+        return d.labels[dst] == kInvalidVertex;
+      },
+      [&](VertexT src, VertexT dst, SizeT) {
+        if (d.labels[dst] != kInvalidVertex) return false;
+        d.labels[dst] = next_label;
+        if (mark_preds) d.preds[dst] = src;  // duplicate-all: local == global
+        if (sub.is_hosted(dst)) ++discovered_hosted;
+        return true;
+      });
   visited_hosted_[s.gpu] += discovered_hosted;
 }
 
@@ -130,10 +141,21 @@ void DobfsEnactor::core_backward(Slice& s) {
 
   const std::span<const VertexT> candidates{
       d.unvisited.data(), static_cast<std::size_t>(d.num_unvisited)};
+  // The pull runs candidates in parallel on the host pool, and a
+  // candidate can simultaneously be another candidate's potential
+  // parent — so label reads/writes go through relaxed atomic_refs.
+  // The *decision* is timing-independent either way: a concurrently
+  // committed candidate moves kInvalidVertex -> next_label, and
+  // neither value equals frontier_label, so the parent test gives the
+  // same answer whichever value the load observes.
   const SizeT produced = core::advance_pull(
       s.ctx, candidates, [&](VertexT v, VertexT parent, SizeT) {
-        if (d.labels[parent] != frontier_label) return false;
-        d.labels[v] = next_label;
+        const VertexT parent_label =
+            std::atomic_ref<VertexT>(d.labels[parent])
+                .load(std::memory_order_relaxed);
+        if (parent_label != frontier_label) return false;
+        std::atomic_ref<VertexT>(d.labels[v]).store(
+            next_label, std::memory_order_relaxed);
         if (mark_preds) d.preds[v] = parent;
         return true;
       });

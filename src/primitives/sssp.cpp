@@ -96,6 +96,13 @@ void SsspEnactor::iteration_core(Slice& s) {
     }
   }
 
+  // Stays on the sequential single-functor form deliberately: the
+  // relaxation reads d.dist[src], which earlier edges of the *same*
+  // advance may have lowered (src can also be a dst this iteration),
+  // so there is no pure candidate test — the (test, op) two-phase
+  // form's contract cannot be met without changing which relaxations
+  // land. Host parallelism for SSSP comes from the surrounding route/
+  // packaging/wire stages instead.
   core::advance_filter(s.ctx, [&](VertexT src, VertexT dst, SizeT e) {
     const ValueT candidate = d.dist[src] + values[e];
     if (candidate >= d.dist[dst]) return false;

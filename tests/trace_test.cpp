@@ -16,7 +16,9 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <variant>
 #include <vector>
 
@@ -569,6 +571,90 @@ TEST(Trace, NoUnderflowsInNormalRuns) {
   machine.synchronize();
   for (int gpu = 0; gpu < machine.num_devices(); ++gpu) {
     EXPECT_EQ(machine.device(gpu).memory().underflow_count(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Host worker pool (docs/architecture.md §12): pool threads must not
+// perturb tracing. Every cost charge is issued from the enactor's
+// control flow — never from inside a pool chunk body — so all spans
+// land on their owning vGPU's (gpu, track) lane, every lane stays
+// monotone, and the exported trace is byte-identical to the 1-thread
+// run.
+// ---------------------------------------------------------------------
+TEST(Trace, PoolThreadsKeepSpanAttribution) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+
+  std::vector<vgpu::TraceSpan> ref;
+  for (const int threads : {1, 4}) {
+    core::Config cfg = config_with(4, core::SyncMode::kEventPipeline);
+    cfg.host_threads = threads;
+    vgpu::Tracer tracer;
+    auto machine = test::test_machine(4);
+    machine.set_tracer(&tracer);
+    prim::run_bfs(g, src, machine, cfg);
+    machine.synchronize();
+
+    const auto spans = tracer.sorted_spans();
+    // Start times are superstep-relative, so a lane is monotone in the
+    // (superstep, start) pair.
+    std::map<std::pair<int, int>, std::pair<std::uint64_t, double>> last;
+    for (const auto& span : spans) {
+      EXPECT_GE(span.gpu, 0);
+      EXPECT_LT(span.gpu, 4);
+      auto& prev = last[{span.gpu, span.track}];
+      EXPECT_GE(std::make_pair(span.superstep, span.start_s), prev)
+          << "track must stay monotone";
+      prev = {span.superstep, span.start_s};
+      EXPECT_GE(span.end_s, span.start_s);
+    }
+    EXPECT_EQ(tracer.dropped_spans(), 0u);
+
+    if (threads == 1) {
+      ref = spans;
+      continue;
+    }
+    // Identical spans at 4 threads — every modeled field; only wall_s
+    // (the real-time wait diagnostic) may legitimately differ. kWait
+    // spans are zero-width and tie on the sort key, so their relative
+    // order (which handshake completed first) is wall-timing-dependent
+    // even without the pool: compare them as a multiset instead.
+    ASSERT_EQ(spans.size(), ref.size());
+    using WaitKey = std::tuple<std::uint64_t, int, int, int>;
+    std::multiset<WaitKey> waits, ref_waits;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].category == vgpu::TraceCategory::kWait) {
+        waits.emplace(spans[i].superstep, spans[i].gpu, spans[i].track,
+                      spans[i].peer);
+      }
+      if (ref[i].category == vgpu::TraceCategory::kWait) {
+        ref_waits.emplace(ref[i].superstep, ref[i].gpu, ref[i].track,
+                          ref[i].peer);
+      }
+    }
+    EXPECT_EQ(waits, ref_waits);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].category == vgpu::TraceCategory::kWait) continue;
+      // Advance the reference cursor past its own wait spans.
+      while (j < ref.size() &&
+             ref[j].category == vgpu::TraceCategory::kWait) {
+        ++j;
+      }
+      ASSERT_LT(j, ref.size());
+      EXPECT_STREQ(spans[i].name, ref[j].name) << i;
+      EXPECT_EQ(spans[i].category, ref[j].category) << i;
+      EXPECT_EQ(spans[i].gpu, ref[j].gpu) << i;
+      EXPECT_EQ(spans[i].track, ref[j].track) << i;
+      EXPECT_EQ(spans[i].peer, ref[j].peer) << i;
+      EXPECT_EQ(spans[i].superstep, ref[j].superstep) << i;
+      EXPECT_EQ(spans[i].start_s, ref[j].start_s) << i;
+      EXPECT_EQ(spans[i].end_s, ref[j].end_s) << i;
+      EXPECT_EQ(spans[i].edges, ref[j].edges) << i;
+      EXPECT_EQ(spans[i].vertices, ref[j].vertices) << i;
+      ++j;
+    }
   }
 }
 
