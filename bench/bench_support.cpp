@@ -141,6 +141,21 @@ Outcome run_primitive(const std::string& primitive, const graph::Graph& g,
   return outcome;
 }
 
+QueryWorkload parse_query_workload(const util::Options& options,
+                                   QueryWorkload defaults) {
+  QueryWorkload w = defaults;
+  w.queries = static_cast<std::size_t>(options.get_int(
+      "queries", static_cast<long long>(defaults.queries)));
+  w.seed = static_cast<std::uint64_t>(options.get_int(
+      "query-seed", static_cast<long long>(defaults.seed)));
+  w.batch_width = static_cast<int>(
+      options.get_int("batch-width", defaults.batch_width));
+  MGG_REQUIRE(w.queries >= 1, "--queries must be >= 1");
+  MGG_REQUIRE(w.batch_width >= 1 && w.batch_width <= 64,
+              "--batch-width must be in [1, 64]");
+  return w;
+}
+
 std::vector<std::string> suite_datasets(const std::string& suite) {
   if (suite == "fast") {
     return {"hollywood-2009", "indochina-2004", "rmat_n20_512"};
@@ -159,7 +174,9 @@ util::Options parse_common(int argc, char** argv,
   std::vector<std::string_view> known = {"suite",      "seed",
                                          "csv",        "trace",
                                          "fault-plan", "fault-seed",
-                                         "wire-format", "host-threads"};
+                                         "wire-format", "host-threads",
+                                         "queries",    "query-seed",
+                                         "batch-width"};
   known.insert(known.end(), extra.begin(), extra.end());
   options.check_unknown(known);
   g_trace_path = options.get_string("trace", "");

@@ -18,6 +18,13 @@
 //                               wall-clock only — results, W, H, and
 //                               modeled times are bit-identical at any
 //                               value)
+//   --queries=N                 point queries per serve workload
+//                               (serve-layer benches; others ignore it)
+//   --query-seed=N              query-workload generator seed — the
+//                               workload is deterministic in
+//                               (graph, N, seed)
+//   --batch-width=N             max distinct sources per serve batch
+//                               (1..64)
 // plus binary-specific flags documented in each main().
 #pragma once
 
@@ -67,6 +74,18 @@ std::vector<std::string> suite_datasets(const std::string& suite);
 
 /// Highest-degree vertex: the deterministic traversal source.
 VertexT pick_source(const graph::Graph& g);
+
+/// Serve-layer workload knobs from the common flags (--queries /
+/// --query-seed / --batch-width), with the binary's defaults applied.
+/// Feed `queries`/`seed` to serve::generate_queries for a workload
+/// deterministic in (graph, queries, seed).
+struct QueryWorkload {
+  std::size_t queries = 256;
+  std::uint64_t seed = 1;
+  int batch_width = 64;
+};
+QueryWorkload parse_query_workload(const util::Options& options,
+                                   QueryWorkload defaults = {});
 
 /// Parse the common flags; returns the Options for further queries.
 /// Rejects any flag that is neither common (suite/seed/csv/trace) nor

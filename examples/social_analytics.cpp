@@ -3,12 +3,15 @@
 // social graph, on multiple GPUs.
 //
 //   ./social_analytics [--gpus=4] [--vertices=20000] [--epv=12]
-//                      [--trace=out.json]
+//                      [--trace=out.json] [--queries=200]
+//                      [--query-seed=5] [--batch-width=64]
 //
 // Pipeline:
 //   1. PageRank       -> global influence ranking
 //   2. CC             -> community (component) structure
 //   3. BC (sampled)   -> brokerage: who sits on the most paths
+//   4. QueryService   -> interactive "are we connected / how far"
+//                        point queries, batched 64 sources at a time
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -17,6 +20,8 @@
 #include "primitives/bc.hpp"
 #include "primitives/cc.hpp"
 #include "primitives/pagerank.hpp"
+#include "serve/query.hpp"
+#include "serve/service.hpp"
 #include "util/options.hpp"
 #include "vgpu/fault.hpp"
 #include "vgpu/machine.hpp"
@@ -46,7 +51,8 @@ int main(int argc, char** argv) {
   util::Options options(argc, argv);
   options.check_unknown({"gpus", "vertices", "epv", "trace",
                          "fault-plan", "fault-seed", "wire-format",
-                         "host-threads"});
+                         "host-threads", "queries", "query-seed",
+                         "batch-width"});
   const int gpus = static_cast<int>(options.get_int("gpus", 4));
   const auto vertices =
       static_cast<VertexT>(options.get_int("vertices", 20000));
@@ -102,9 +108,35 @@ int main(int argc, char** argv) {
   }
   const auto bc = prim::run_bc(g, machine, config, sources);
   print_top("top brokers (betweenness, 16-source sample):", bc.bc, 5);
-  std::printf("  %llu BSP iterations across %zu sources\n",
+  std::printf("  %llu BSP iterations across %zu sources\n\n",
               static_cast<unsigned long long>(bc.total_iterations),
               sources.size());
+
+  // --- 4. Interactive queries: "are A and B connected, and how far
+  // apart?" served in 64-source batches (docs/architecture.md §13). ---
+  const auto num_queries =
+      static_cast<std::size_t>(options.get_int("queries", 200));
+  const auto query_seed =
+      static_cast<std::uint64_t>(options.get_int("query-seed", 5));
+  serve::ServeOptions serve_options;
+  serve_options.config = config;
+  serve_options.batch_width =
+      static_cast<int>(options.get_int("batch-width", 64));
+  serve::QueryService service(g, serve_options);
+  const auto queries =
+      serve::generate_queries(g, num_queries, query_seed, g.has_values());
+  const auto answers = service.run(queries);
+  std::size_t reachable = 0;
+  for (const auto& a : answers) reachable += a.reachable ? 1 : 0;
+  const auto& ss = service.stats();
+  std::printf("point-query serving: %zu queries in %llu batches, "
+              "%zu reachable\n",
+              answers.size(),
+              static_cast<unsigned long long>(ss.batches), reachable);
+  std::printf("  %.0f QPS, p50 %.2f ms, p99 %.2f ms "
+              "(batched W %.2f ms, H %.2f ms modeled)\n",
+              ss.qps, ss.p50_ms, ss.p99_ms, ss.modeled_compute_s * 1e3,
+              ss.modeled_comm_s * 1e3);
 
   if (!trace_path.empty()) {
     // One timeline for the whole pipeline: PageRank, CC, and every BC

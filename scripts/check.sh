@@ -62,6 +62,19 @@ echo "==> micro_wire acceptance gate"
 # to raw in both sync modes. Modeled bytes only — no wall-clock gate.
 "$BUILD/bench/micro_wire"
 
+echo "==> multi-source + serve differential suites (explicit)"
+# Batched traversal bit-identical to individual runs across GPU counts,
+# schedules and wire formats, plus the query-service packing / lane /
+# reuse suite (docs/architecture.md §13).
+"$BUILD/tests/mgg_tests" --gtest_filter='MsBfs.*:Serve.*'
+
+echo "==> serve_throughput acceptance gate"
+# >= 3x modeled W+H reduction for one 64-source batch vs the 64
+# individual runs it replaces (rmat + social at 4 vGPUs), bit-identical
+# per-source answers, batch-tagged trace. Modeled gate only — the
+# QPS/latency sweep is informational.
+"$BUILD/bench/serve_throughput"
+
 echo "==> micro_faults acceptance gate (writes BENCH_faults.json)"
 # Non-vacuous recovery gates: grow-and-retry completes a just-enough
 # run that throws without it, comm retries recover with backoff
@@ -100,6 +113,10 @@ TSAN_FILTER+=':WireFormat.*'
 # Host worker pool: chunk claiming, the wake/done protocol, and every
 # parallel operator pipeline running with 2-8 pool workers.
 TSAN_FILTER+=':ParallelExec.*'
+# Serve layer: concurrent lanes enact over one shared PartitionedGraph
+# (the new race surface — shared read-only CSR slices, the atomic batch
+# queue, the stats mutex, and Tracer batch tags from lane threads).
+TSAN_FILTER+=':MsBfs.*:Serve.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

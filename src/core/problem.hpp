@@ -5,6 +5,14 @@
 // virtual GPUs (charging each device's memory for its slice), and let
 // the primitive allocate its per-GPU DataSlice. Reset() prepares a new
 // run (e.g. a new BFS source).
+//
+// Per-graph vs per-query state (docs/architecture.md §13): the
+// partitioned graph is immutable after build and held by shared_ptr,
+// so many Problems — serving many concurrent queries — can init() from
+// one partition() result without re-partitioning or copying the CSR
+// slices. Everything mutable (DataSlices, frontiers, comm buffers)
+// stays per-Problem/per-Enactor, which is what makes concurrent
+// enactments on the shared graph safe.
 #pragma once
 
 #include <memory>
@@ -110,10 +118,27 @@ class ProblemBase {
   void init(const graph::Graph& g, vgpu::Machine& machine,
             const Config& config);
 
+  /// Distribute an already-partitioned graph (from partition(), or
+  /// another Problem's partitioned_shared()): the per-graph half of
+  /// the state split. Skips the partitioning pass entirely; the
+  /// partition's part count and duplication must match `config`.
+  /// Must be called exactly once.
+  void init(std::shared_ptr<const part::PartitionedGraph> pg,
+            vgpu::Machine& machine, const Config& config);
+
+  /// Partition `g` per `config` without binding it to a Problem — the
+  /// shareable read-only graph state many Problems can init() from.
+  static std::shared_ptr<const part::PartitionedGraph> partition(
+      const graph::Graph& g, const Config& config);
+
   const Config& config() const noexcept { return config_; }
   int num_gpus() const noexcept { return config_.num_gpus; }
   vgpu::Machine& machine() const { return *machine_; }
   const part::PartitionedGraph& partitioned() const { return *partitioned_; }
+  /// The shared handle, for spinning up further Problems on this graph.
+  std::shared_ptr<const part::PartitionedGraph> partitioned_shared() const {
+    return partitioned_;
+  }
   const part::SubGraph& sub(int gpu) const { return partitioned_->sub(gpu); }
   vgpu::Device& device(int gpu) const { return machine_->device(gpu); }
 
@@ -131,7 +156,9 @@ class ProblemBase {
  private:
   Config config_;
   vgpu::Machine* machine_ = nullptr;
-  std::unique_ptr<part::PartitionedGraph> partitioned_;
+  /// Shared, immutable once built: the per-graph half of the state
+  /// split. Concurrent Problems over one graph all point here.
+  std::shared_ptr<const part::PartitionedGraph> partitioned_;
   /// Bytes charged to each device for its subgraph CSR (released in
   /// the destructor).
   std::vector<std::size_t> graph_charges_;

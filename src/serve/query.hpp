@@ -1,0 +1,56 @@
+// Point-query types for the serving layer (docs/architecture.md §13).
+//
+// A query asks one fact about one (src, dst) pair; the service answers
+// it by packing up to 64 compatible queries into a single batched
+// multi-source enactment (primitives/multi_source.hpp) — reachability
+// and BFS-depth queries share a BFS batch, SSSP-distance queries form
+// SSSP batches. Workload generation is deterministic in (graph, n,
+// seed): benches and tests never draw from wall-clock entropy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgg::serve {
+
+enum class QueryKind : std::uint8_t {
+  kReachability,  ///< is dst reachable from src? (BFS batch)
+  kBfsDepth,      ///< hop distance src -> dst (BFS batch)
+  kSsspDist,      ///< weighted shortest distance src -> dst (SSSP batch)
+};
+
+const char* to_string(QueryKind kind);
+
+struct Query {
+  std::uint64_t id = 0;  ///< caller-assigned; echoed in the result
+  QueryKind kind = QueryKind::kReachability;
+  VertexT src = 0;
+  VertexT dst = 0;
+};
+
+struct QueryResult {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kReachability;
+  bool reachable = false;
+  /// Hop depth (BFS kinds); kInvalidVertex when unreached.
+  VertexT depth = kInvalidVertex;
+  /// Weighted distance (kSsspDist); infinity() when unreachable.
+  ValueT dist = std::numeric_limits<ValueT>::infinity();
+  /// 1-based id of the batched enactment that answered this query —
+  /// the same tag the Tracer stamps on the batch's spans.
+  std::uint64_t batch = 0;
+  int lane = 0;            ///< service lane that ran the batch
+  double latency_ms = 0;   ///< admission-to-answer wall time
+};
+
+/// Deterministic point-query workload: sources and destinations drawn
+/// uniformly from `g`'s vertices via the seeded Rng; kinds cycle
+/// through the BFS kinds, plus kSsspDist when `weighted` (the graph
+/// carries edge values). ids are 1..n in order.
+std::vector<Query> generate_queries(const graph::Graph& g, std::size_t n,
+                                    std::uint64_t seed, bool weighted);
+
+}  // namespace mgg::serve

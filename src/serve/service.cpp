@@ -1,0 +1,245 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "primitives/multi_source.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/random.hpp"
+
+namespace mgg::serve {
+
+namespace {
+constexpr ValueT kInf = std::numeric_limits<ValueT>::infinity();
+}
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kReachability: return "reachability";
+    case QueryKind::kBfsDepth: return "bfs_depth";
+    case QueryKind::kSsspDist: return "sssp_dist";
+  }
+  return "unknown";
+}
+
+std::vector<Query> generate_queries(const graph::Graph& g, std::size_t n,
+                                    std::uint64_t seed, bool weighted) {
+  MGG_REQUIRE(g.num_vertices > 0, "query workload needs a non-empty graph");
+  util::Rng rng(seed);
+  const int num_kinds = weighted ? 3 : 2;
+  std::vector<Query> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Query q;
+    q.id = i + 1;
+    q.kind = static_cast<QueryKind>(rng.next_below(num_kinds));
+    q.src = static_cast<VertexT>(rng.next_below(g.num_vertices));
+    q.dst = static_cast<VertexT>(rng.next_below(g.num_vertices));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// One service lane: an independent vGPU machine with per-query
+/// Problem/Enactor state, all over the shared partitioned graph.
+struct QueryService::Lane {
+  int index = 0;
+  vgpu::Machine machine;
+  std::unique_ptr<prim::MsBfsProblem> bfs_problem;
+  std::unique_ptr<prim::MsBfsEnactor> bfs_enactor;
+  std::unique_ptr<prim::MsSsspProblem> sssp_problem;
+  std::unique_ptr<prim::MsSsspEnactor> sssp_enactor;
+
+  Lane(int idx, const std::string& preset, int num_gpus)
+      : index(idx), machine(vgpu::Machine::create(preset, num_gpus)) {}
+};
+
+QueryService::QueryService(const graph::Graph& g,
+                           const ServeOptions& options)
+    : options_(options) {
+  MGG_REQUIRE(options_.batch_width >= 1 &&
+                  options_.batch_width <= prim::kMaxBatchWidth,
+              "batch width must be in [1, 64]");
+  MGG_REQUIRE(options_.num_lanes >= 1, "need at least one lane");
+  pg_ = core::ProblemBase::partition(g, options_.config);
+  const bool weighted = g.has_values();
+  for (int lane = 0; lane < options_.num_lanes; ++lane) {
+    auto l = std::make_unique<Lane>(lane, options_.machine_preset,
+                                    options_.config.num_gpus);
+    if (lane == 0 && options_.tracer != nullptr) {
+      l->machine.set_tracer(options_.tracer);
+    }
+    l->bfs_problem =
+        std::make_unique<prim::MsBfsProblem>(options_.batch_width);
+    l->bfs_problem->init(pg_, l->machine, options_.config);
+    l->bfs_enactor = std::make_unique<prim::MsBfsEnactor>(*l->bfs_problem);
+    if (weighted) {
+      l->sssp_problem =
+          std::make_unique<prim::MsSsspProblem>(options_.batch_width);
+      l->sssp_problem->init(pg_, l->machine, options_.config);
+      l->sssp_enactor =
+          std::make_unique<prim::MsSsspEnactor>(*l->sssp_problem);
+    }
+    lanes_.push_back(std::move(l));
+  }
+  MGG_LOG_INFO << "query service up: " << lanes_.size() << " lane(s) x "
+               << options_.config.num_gpus << " vGPU(s), batch width "
+               << options_.batch_width << (weighted ? ", weighted" : "");
+}
+
+QueryService::~QueryService() = default;
+
+std::vector<QueryService::Batch> QueryService::pack(
+    std::span<const Query> queries) const {
+  std::vector<Batch> batches;
+  // One open batch per class; queries on an already-batched source
+  // share its slot, so a batch can answer more queries than its width.
+  int open[2] = {-1, -1};  // index into batches, or -1
+  std::uint64_t next_id = 1;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    MGG_REQUIRE(q.src < pg_->global_vertices() &&
+                    q.dst < pg_->global_vertices(),
+                "query endpoint out of range");
+    const bool sssp = q.kind == QueryKind::kSsspDist;
+    MGG_REQUIRE(!sssp || lanes_[0]->sssp_problem != nullptr,
+                "SSSP query on an unweighted graph");
+    const int cls = sssp ? 1 : 0;
+    int slot = -1;
+    if (open[cls] >= 0) {
+      const auto& sources = batches[open[cls]].sources;
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        if (sources[s] == q.src) {
+          slot = static_cast<int>(s);
+          break;
+        }
+      }
+      if (slot < 0 && sources.size() ==
+                          static_cast<std::size_t>(options_.batch_width)) {
+        open[cls] = -1;  // full: close it
+      }
+    }
+    if (open[cls] < 0) {
+      Batch b;
+      b.id = next_id++;
+      b.sssp = sssp;
+      open[cls] = static_cast<int>(batches.size());
+      batches.push_back(std::move(b));
+    }
+    Batch& b = batches[open[cls]];
+    if (slot < 0) {
+      slot = static_cast<int>(b.sources.size());
+      b.sources.push_back(q.src);
+    }
+    b.members.push_back({i, slot});
+  }
+  return batches;
+}
+
+void QueryService::run_batch(Lane& lane, const Batch& batch,
+                             std::span<const Query> queries,
+                             std::span<QueryResult> results,
+                             const util::WallTimer& run_timer) {
+  vgpu::Tracer* tracer = lane.machine.tracer();
+  if (tracer != nullptr) tracer->set_batch(batch.id);
+  vgpu::RunStats run;
+  if (batch.sssp) {
+    lane.sssp_enactor->reset(batch.sources);
+    run = lane.sssp_enactor->enact();
+  } else {
+    lane.bfs_enactor->reset(batch.sources);
+    run = lane.bfs_enactor->enact();
+  }
+  if (tracer != nullptr) tracer->set_batch(0);
+
+  // Extract answers with targeted host-copy reads — each destination
+  // is one (gpu, local) lookup, no global gather.
+  const double done_ms = run_timer.milliseconds();
+  for (const Batch::Member& m : batch.members) {
+    const Query& q = queries[m.query_index];
+    QueryResult& r = results[m.query_index];
+    r.id = q.id;
+    r.kind = q.kind;
+    r.batch = batch.id;
+    r.lane = lane.index;
+    r.latency_ms = done_ms;
+    const auto [gpu, lv] = lane.bfs_problem->locate(q.dst);
+    const std::size_t stride = pg_->sub(gpu).num_total();
+    const std::size_t at =
+        static_cast<std::size_t>(m.slot) * stride + lv;
+    if (batch.sssp) {
+      const ValueT d = lane.sssp_problem->data(gpu).dist[at];
+      r.dist = d;
+      r.reachable = d < kInf;
+    } else {
+      const VertexT d = lane.bfs_problem->data(gpu).depth[at];
+      r.depth = d;
+      r.reachable = d != kInvalidVertex;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.batches += 1;
+  if (batch.sssp) {
+    stats_.sssp_batches += 1;
+  } else {
+    stats_.bfs_batches += 1;
+  }
+  stats_.modeled_compute_s += run.modeled_compute_s;
+  stats_.modeled_comm_s += run.modeled_comm_s;
+  stats_.total_edges += run.total_edges;
+  stats_.total_comm_bytes += run.total_comm_bytes;
+}
+
+std::vector<QueryResult> QueryService::run(std::span<const Query> queries) {
+  stats_ = ServeStats{};
+  stats_.queries = queries.size();
+  std::vector<QueryResult> results(queries.size());
+  const std::vector<Batch> batches = pack(queries);
+  util::WallTimer run_timer;
+
+  // Multiplex the batch queue across the lanes. Each query's result
+  // slot is written by exactly one batch, so extraction needs no lock.
+  std::atomic<std::size_t> next{0};
+  const auto lane_worker = [&](Lane& lane) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batches.size()) break;
+      run_batch(lane, batches[i], queries, results, run_timer);
+    }
+  };
+  if (lanes_.size() == 1 || batches.size() <= 1) {
+    lane_worker(*lanes_[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(lanes_.size());
+    for (auto& lane : lanes_) {
+      threads.emplace_back([&lane_worker, &lane] { lane_worker(*lane); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  stats_.wall_s = run_timer.seconds();
+  stats_.qps = stats_.wall_s > 0
+                   ? static_cast<double>(queries.size()) / stats_.wall_s
+                   : 0;
+
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const QueryResult& r : results) latencies.push_back(r.latency_ms);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double p) {
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    stats_.p50_ms = at(0.50);
+    stats_.p99_ms = at(0.99);
+  }
+  return results;
+}
+
+}  // namespace mgg::serve

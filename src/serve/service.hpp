@@ -1,0 +1,117 @@
+// QueryService: admission, batching, and lane scheduling for point
+// queries over one shared partitioned graph (docs/architecture.md §13).
+//
+// The state split that makes this work is in core/problem.hpp: the
+// graph is partitioned exactly once (ProblemBase::partition) and every
+// lane's Problems init() from the shared read-only handle, so adding a
+// lane costs per-query state (labels, frontiers, comm buffers) but
+// never re-partitions or copies a CSR slice.
+//
+// Admission packs queries into batches of at most `batch_width`
+// distinct sources — queries on the same source share a slot, and
+// reachability/BFS-depth queries share BFS batches while
+// SSSP-distance queries form SSSP batches. Each batch is one
+// multi-source enactment answering every member at once: the paper's
+// W and H costs (and S supersteps) are paid per *batch*, which is the
+// whole throughput story (bench/serve_throughput gates the ≥3x W+H
+// reduction vs individual runs).
+//
+// Lanes are independent vGPU machines with their own Problem/Enactor
+// pairs; a shared work queue feeds them batches, so service throughput
+// scales with lanes while every lane's host-side kernels ride the one
+// shared worker pool (§12). Lane 0 optionally carries a Tracer whose
+// spans are tagged with the batch id (Tracer::set_batch) for per-query
+// filtering in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "serve/query.hpp"
+#include "util/timer.hpp"
+#include "vgpu/trace.hpp"
+
+namespace mgg::serve {
+
+struct ServeOptions {
+  core::Config config;                  ///< per-lane enactment config
+  int batch_width = 64;                 ///< max distinct sources/batch
+  int num_lanes = 1;                    ///< concurrent vGPU machines
+  std::string machine_preset = "k40";   ///< vgpu::Machine::create preset
+  /// Installed on lane 0's machine; batched spans are tagged with the
+  /// batch id. Null = no tracing.
+  vgpu::Tracer* tracer = nullptr;
+};
+
+/// Aggregate service-side statistics for the last run().
+struct ServeStats {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bfs_batches = 0;
+  std::uint64_t sssp_batches = 0;
+  double wall_s = 0;               ///< run() wall time
+  double modeled_compute_s = 0;    ///< Σ batch W (modeled)
+  double modeled_comm_s = 0;       ///< Σ batch H (modeled)
+  std::uint64_t total_edges = 0;   ///< Σ batch edge work items
+  std::uint64_t total_comm_bytes = 0;
+  double p50_ms = 0;               ///< median query latency
+  double p99_ms = 0;
+  double qps = 0;                  ///< queries / wall_s
+};
+
+class QueryService {
+ public:
+  /// Partition `g` once and build `num_lanes` lanes over the shared
+  /// partition. SSSP lanes require edge values; a weight-free graph
+  /// only admits the BFS query kinds.
+  QueryService(const graph::Graph& g, const ServeOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Answer every query: pack into batches, multiplex the batches
+  /// across the lanes, extract per-query answers. results[i] answers
+  /// queries[i]. Deterministic per query — answers do not depend on
+  /// batch packing or lane scheduling.
+  std::vector<QueryResult> run(std::span<const Query> queries);
+
+  const ServeStats& stats() const noexcept { return stats_; }
+  const part::PartitionedGraph& partitioned() const { return *pg_; }
+  int num_lanes() const noexcept
+      { return static_cast<int>(lanes_.size()); }
+
+ private:
+  struct Lane;
+  /// One packed enactment: `sources[slot]` for each distinct source,
+  /// `members` mapping query index -> slot.
+  struct Batch {
+    std::uint64_t id = 0;  ///< 1-based; Tracer batch tag
+    bool sssp = false;
+    std::vector<VertexT> sources;
+    struct Member {
+      std::size_t query_index;
+      int slot;
+    };
+    std::vector<Member> members;
+  };
+
+  std::vector<Batch> pack(std::span<const Query> queries) const;
+  void run_batch(Lane& lane, const Batch& batch,
+                 std::span<const Query> queries,
+                 std::span<QueryResult> results,
+                 const util::WallTimer& run_timer);
+
+  ServeOptions options_;
+  std::shared_ptr<const part::PartitionedGraph> pg_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  ServeStats stats_;
+  std::mutex stats_mutex_;
+};
+
+}  // namespace mgg::serve

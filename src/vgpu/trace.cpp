@@ -97,6 +97,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 
 void Tracer::record(TraceSpan span) {
   span.superstep = superstep_.load(std::memory_order_relaxed);
+  span.batch = batch_.load(std::memory_order_relaxed);
   ThreadBuffer& buffer = local_buffer();
   if (buffer.spans.size() < capacity_) {
     buffer.spans.push_back(span);
@@ -111,6 +112,7 @@ void Tracer::close_superstep(std::uint64_t iteration,
                              bool pipeline) {
   SuperstepTrace step;
   step.iteration = iteration;
+  step.batch = batch_.load(std::memory_order_relaxed);
   step.pipeline = pipeline;
   step.overhead_s = overhead_s;
   step.hidden_s = hidden_s;
@@ -188,6 +190,7 @@ void Tracer::clear() {
   }
   supersteps_.clear();
   superstep_.store(0, std::memory_order_release);
+  batch_.store(0, std::memory_order_release);
 }
 
 std::vector<SuperstepAttribution> Tracer::attribution(
@@ -281,7 +284,7 @@ std::string Tracer::chrome_trace_json() const {
   const auto emit_span = [&w](const char* name, const char* category,
                               int pid, int tid, double ts_s, double dur_s,
                               const TraceSpan* detail,
-                              std::uint64_t superstep) {
+                              std::uint64_t superstep, std::uint64_t batch) {
     w.begin_object();
     w.key("name").value(name);
     w.key("cat").value(category);
@@ -292,6 +295,9 @@ std::string Tracer::chrome_trace_json() const {
     w.key("dur").value(dur_s * 1e6);
     w.key("args").begin_object();
     w.key("superstep").value(static_cast<unsigned long long>(superstep));
+    if (batch != 0) {
+      w.key("batch").value(static_cast<unsigned long long>(batch));
+    }
     if (detail != nullptr) {
       if (detail->edges != 0) {
         w.key("edges").value(static_cast<unsigned long long>(detail->edges));
@@ -323,7 +329,7 @@ std::string Tracer::chrome_trace_json() const {
                             : offsets.back();
     emit_span(span.name, to_string(span.category), span.gpu, span.track,
               base + span.start_s, span.end_s - span.start_s, &span,
-              span.superstep);
+              span.superstep, span.batch);
   }
 
   // One synthesized barrier span per superstep: l(n) sits at the end
@@ -334,7 +340,7 @@ std::string Tracer::chrome_trace_json() const {
       emit_span(step.pipeline ? "barrier (convergence)" : "barrier (x2)",
                 to_string(TraceCategory::kSync), host_pid, 0,
                 offsets[step.index] + step.body_s(), step.overhead_s,
-                nullptr, step.index);
+                nullptr, step.index, step.batch);
     }
   }
 

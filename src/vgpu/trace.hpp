@@ -72,6 +72,10 @@ struct TraceSpan {
   std::int16_t track = 0;  ///< 0 = compute stream, 1 = comm stream (tid)
   std::int32_t peer = -1;  ///< transfer destination / wait source, or -1
   std::uint64_t superstep = 0;  ///< global superstep index (tracer-stamped)
+  /// Batch/query tag (tracer-stamped from set_batch): serve-mode runs
+  /// stamp every enactment with its batch id so Perfetto can filter a
+  /// shared trace per query batch. 0 = untagged (non-serve runs).
+  std::uint64_t batch = 0;
   double start_s = 0;  ///< superstep-local modeled start
   double end_s = 0;    ///< superstep-local modeled end (>= start_s)
   /// Host wall time observed for kWait spans (diagnostic; modeled
@@ -89,6 +93,7 @@ struct TraceSpan {
 struct SuperstepTrace {
   std::uint64_t index = 0;      ///< position on the global trace timeline
   std::uint64_t iteration = 0;  ///< enactor iteration counter
+  std::uint64_t batch = 0;      ///< batch/query tag (0 = untagged)
   bool pipeline = false;        ///< event-pipeline schedule?
   double overhead_s = 0;        ///< l(n) charged this superstep
   double hidden_s = 0;          ///< comm hidden under compute (pipeline)
@@ -139,9 +144,20 @@ class Tracer {
   // ----------------------------------------------------------------
 
   /// Append a span to the calling thread's buffer, stamping it with
-  /// the current superstep. The span's `name` must outlive the tracer
-  /// (string literals).
+  /// the current superstep and batch tag. The span's `name` must
+  /// outlive the tracer (string literals).
   void record(TraceSpan span);
+
+  /// Tag every span and superstep recorded from now on with `batch`
+  /// (a serve-layer batch/query id; 0 clears the tag). Observation
+  /// only — the tag never feeds back into the cost model. Call while
+  /// no enactment is recording (between batches on this tracer).
+  void set_batch(std::uint64_t batch) {
+    batch_.store(batch, std::memory_order_release);
+  }
+  std::uint64_t batch() const {
+    return batch_.load(std::memory_order_acquire);
+  }
 
   /// Close superstep `iteration` with the per-GPU harvested counters
   /// and the schedule's overhead/overlap charges. Called by the
@@ -202,6 +218,7 @@ class Tracer {
   const std::uint64_t id_;        ///< process-unique, keys the TLS cache
   const std::size_t capacity_;    ///< spans per thread buffer
   std::atomic<std::uint64_t> superstep_{0};
+  std::atomic<std::uint64_t> batch_{0};  ///< serve-mode batch tag
   mutable std::mutex mutex_;      ///< buffer registry + supersteps
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::vector<SuperstepTrace> supersteps_;

@@ -677,5 +677,46 @@ TEST(Trace, ClearAllowsReuse) {
   EXPECT_EQ(tracer.supersteps().size(), again.stats.iterations);
 }
 
+// The serve-mode batch tag (Tracer::set_batch) is observation-only:
+// a tagged, traced run is bit-identical to an untraced one, the tag
+// lands on every span and superstep, and it reaches the Chrome export
+// args so Perfetto can filter per query batch.
+TEST(Trace, BatchTagIsObservationOnly) {
+  const auto g = test::small_rmat();
+  const VertexT src = test::first_connected_vertex(g);
+  const auto cfg = config_with(4, core::SyncMode::kBspBarrier);
+  auto plain_machine = test::test_machine(4);
+  const auto plain = prim::run_bfs(g, src, plain_machine, cfg);
+
+  auto traced_machine = test::test_machine(4);
+  vgpu::Tracer tracer;
+  traced_machine.set_tracer(&tracer);
+  tracer.set_batch(7);
+  const auto traced = prim::run_bfs(g, src, traced_machine, cfg);
+  traced_machine.synchronize();
+
+  EXPECT_EQ(plain.labels, traced.labels) << "batch tag perturbed results";
+  expect_stats_identical(plain.stats, traced.stats, "batch tag");
+
+  const auto spans = tracer.sorted_spans();
+  ASSERT_GT(spans.size(), 0u);
+  for (const auto& span : spans) EXPECT_EQ(span.batch, 7u);
+  for (const auto& step : tracer.supersteps()) EXPECT_EQ(step.batch, 7u);
+  EXPECT_NE(tracer.chrome_trace_json().find("\"batch\":7"),
+            std::string::npos);
+
+  // clear() resets the tag: a fresh run records untagged spans, and
+  // untagged spans omit the args key entirely.
+  tracer.clear();
+  EXPECT_EQ(tracer.batch(), 0u);
+  prim::run_bfs(g, src, traced_machine, cfg);
+  traced_machine.synchronize();
+  for (const auto& span : tracer.sorted_spans()) {
+    EXPECT_EQ(span.batch, 0u);
+  }
+  EXPECT_EQ(tracer.chrome_trace_json().find("\"batch\""),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mgg
