@@ -75,6 +75,20 @@ echo "==> serve_throughput acceptance gate"
 # QPS/latency sweep is informational.
 "$BUILD/bench/serve_throughput"
 
+echo "==> hierarchy + two-level combine suites (explicit)"
+# Interconnect shape validation / link classification / gateway
+# election, and flat-vs-two-level bit-identity with the byte-split and
+# gateway-counter invariants (docs/architecture.md §14).
+"$BUILD/tests/mgg_tests" --gtest_filter='Hierarchy.*:TwoLevel.*'
+
+echo "==> ext_multinode acceptance gate"
+# Two-level combine must strictly reduce modeled inter-node bytes vs
+# the flat topology on rmat_n22_128 at 2x4 and 4x2, non-vacuously
+# (gateway dedup and both codecs engage), with results and item
+# counters bit-identical across {flat, two-level} x {BSP, pipeline} x
+# {raw, auto}. Modeled bytes only — no wall-clock gate.
+"$BUILD/bench/ext_multinode"
+
 echo "==> micro_faults acceptance gate (writes BENCH_faults.json)"
 # Non-vacuous recovery gates: grow-and-retry completes a just-enough
 # run that throws without it, comm retries recover with backoff
@@ -117,6 +131,10 @@ TSAN_FILTER+=':ParallelExec.*'
 # (the new race surface — shared read-only CSR slices, the atomic batch
 # queue, the stats mutex, and Tracer batch tags from lane threads).
 TSAN_FILTER+=':MsBfs.*:Serve.*'
+# Two-level combine: stage_relay runs on the sender comm streams under
+# the relay mutex while flush_relays drains from the closing control
+# thread and bumps the link-split/gateway atomics.
+TSAN_FILTER+=':TwoLevel.*:Hierarchy.*'
 "$TSAN_BUILD/tests/mgg_tests" --gtest_filter="$TSAN_FILTER"
 
 echo "==> check.sh: all green"

@@ -351,7 +351,8 @@ CommBus::CommBus(vgpu::Machine& machine)
     : machine_(&machine),
       locks_(machine.num_devices()),
       inboxes_(machine.num_devices()),
-      drained_(machine.num_devices()) {}
+      drained_(machine.num_devices()),
+      relay_(machine.num_devices()) {}
 
 Message CommBus::acquire() {
   std::lock_guard<std::mutex> lock(pool_mutex_);
@@ -370,6 +371,50 @@ void CommBus::release(Message&& message) {
 std::size_t CommBus::pool_size() const {
   std::lock_guard<std::mutex> lock(pool_mutex_);
   return pool_.size();
+}
+
+double CommBus::consult_transfer_faults(int src, int dst,
+                                        double& backoff_s) {
+  // Fault consultation + bounded retry with modeled backoff.
+  // Fault-free machines skip this entirely (null injector), so the
+  // hot path and its modeled times are untouched.
+  double slowdown = 1.0;
+  vgpu::FaultInjector* injector = machine_->fault_injector();
+  if (injector == nullptr) return slowdown;
+  const int max_retries = max_retries_.load(std::memory_order_relaxed);
+  const double base = backoff_base_s_.load(std::memory_order_relaxed);
+  int attempt = 0;
+  for (;;) {
+    const vgpu::TransferDecision decision = injector->on_transfer(src, dst);
+    if (decision.permanent_fail) {
+      throw Error(Status::kUnavailable, "permanent transfer fault on link " +
+                                            std::to_string(src) + "->" +
+                                            std::to_string(dst));
+    }
+    slowdown = decision.slowdown;
+    if (!decision.transient_fail) return slowdown;
+    if (attempt >= max_retries) {
+      throw Error(Status::kUnavailable,
+                  "transfer retries exhausted on link " +
+                      std::to_string(src) + "->" + std::to_string(dst) +
+                      " after " + std::to_string(attempt) + " retries");
+    }
+    // Modeled exponential backoff, charged by the caller as part of
+    // this transfer's comm-timeline occupancy. The exponent is
+    // clamped (1 << attempt is UB at attempt >= 64 and the modeled
+    // seconds explode long before that) and the total is capped so a
+    // high retry bound models a saturated retry loop, not
+    // astronomical time.
+    static constexpr int kMaxBackoffExponent = 20;
+    static constexpr double kBackoffTotalCapFactor =
+        static_cast<double>(1ULL << 22);
+    const int exponent = std::min(attempt, kMaxBackoffExponent);
+    backoff_s =
+        std::min(backoff_s + base * static_cast<double>(1ULL << exponent),
+                 base * kBackoffTotalCapFactor);
+    ++attempt;
+    comm_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void CommBus::push(int src, int dst, Message message) {
@@ -396,63 +441,50 @@ void CommBus::push(int src, int dst, Message message) {
           release(std::move(msg));
           return;
         }
-        // Fault consultation + bounded retry with modeled backoff.
-        // Fault-free machines skip this entirely (null injector), so
-        // the hot path and its modeled times are untouched.
+        const bool cross_node =
+            !machine_->interconnect().same_node(src, dst);
+        // Two-level combine: a cross-node push is staged — the sender
+        // pays the fast hop to its node's gateway for dst's node (and
+        // that hop is the fault-injection surface), the gateway ledger
+        // records the bucket for flush_relays(), and the message is
+        // still delivered to dst unchanged (the correctness path; its
+        // modeled inter-node cost is realized at the gateway flush).
+        const bool staged = cross_node && two_level_enabled();
+        const int hop_dst =
+            staged ? machine_->interconnect().gateway(src, dst) : dst;
         double slowdown = 1.0;
         double backoff_s = 0.0;
-        if (vgpu::FaultInjector* injector = machine_->fault_injector()) {
-          const int max_retries =
-              max_retries_.load(std::memory_order_relaxed);
-          const double base =
-              backoff_base_s_.load(std::memory_order_relaxed);
-          int attempt = 0;
-          for (;;) {
-            const vgpu::TransferDecision decision =
-                injector->on_transfer(src, dst);
-            if (decision.permanent_fail) {
-              release(std::move(msg));
-              throw Error(Status::kUnavailable,
-                          "permanent transfer fault on link " +
-                              std::to_string(src) + "->" +
-                              std::to_string(dst));
-            }
-            slowdown = decision.slowdown;
-            if (!decision.transient_fail) break;
-            if (attempt >= max_retries) {
-              release(std::move(msg));
-              throw Error(Status::kUnavailable,
-                          "transfer retries exhausted on link " +
-                              std::to_string(src) + "->" +
-                              std::to_string(dst) + " after " +
-                              std::to_string(attempt) + " retries");
-            }
-            // Modeled exponential backoff, charged below as part of
-            // this transfer's comm-timeline occupancy. The exponent is
-            // clamped (1 << attempt is UB at attempt >= 64 and the
-            // modeled seconds explode long before that) and the total
-            // is capped so a high retry bound models a saturated
-            // retry loop, not astronomical time.
-            static constexpr int kMaxBackoffExponent = 20;
-            static constexpr double kBackoffTotalCapFactor =
-                static_cast<double>(1ULL << 22);
-            const int exponent = std::min(attempt, kMaxBackoffExponent);
-            backoff_s = std::min(
-                backoff_s + base * static_cast<double>(1ULL << exponent),
-                base * kBackoffTotalCapFactor);
-            ++attempt;
-            comm_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (src != hop_dst) {
+          try {
+            slowdown = consult_transfer_faults(src, hop_dst, backoff_s);
+          } catch (...) {
+            release(std::move(msg));
+            throw;
           }
         }
-        const std::size_t bytes = msg.payload_bytes();
         const std::size_t items = msg.size();
+        // A sender that is itself the gateway stages in place: no link
+        // is crossed, so no bytes move — but the items are charged
+        // here (and only here) so H item counts match the flat path
+        // exactly, with the merged hop carrying items = 0.
+        const std::size_t bytes =
+            staged && src == hop_dst ? 0 : msg.payload_bytes();
         const double seconds =
-            machine_->interconnect().transfer_seconds(src, dst, bytes) *
+            machine_->interconnect().transfer_seconds(src, hop_dst, bytes) *
                 slowdown +
             backoff_s;
+        const char* span = staged ? "push_relay"
+                           : cross_node ? "push_inter_node"
+                                        : "push";
         machine_->device(src).add_comm_cost(seconds, bytes, items, ready_s,
-                                            "push", dst);
-        machine_->interconnect().record_transfer(bytes);
+                                            span, hop_dst);
+        if (bytes > 0) machine_->interconnect().record_transfer(bytes);
+        // Every pushed byte is classified by link class: the staged
+        // hop is intra-node by construction, so with two-level on the
+        // inter-node share comes solely from the gateways' merged
+        // pushes (and direct cross-node pushes when off).
+        (staged || !cross_node ? intra_bytes_ : inter_bytes_)
+            .fetch_add(bytes, std::memory_order_relaxed);
         switch (msg.encoding) {
           case WireFormat::kBitmap:
             wire_bytes_bitmap_.fetch_add(bytes, std::memory_order_relaxed);
@@ -471,11 +503,178 @@ void CommBus::push(int src, int dst, Message message) {
         if (msg.encoding != WireFormat::kRawIds) {
           wire_encoded_.fetch_add(items, std::memory_order_relaxed);
         }
+        if (staged) stage_relay(src, dst, hop_dst, msg);
         {
           std::lock_guard<std::mutex> lock(locks_[dst]);
           inboxes_[dst].push_back(std::move(msg));
         }
       });
+}
+
+void CommBus::set_two_level(TwoLevelPolicy policy) {
+  if (policy.enabled) {
+    MGG_REQUIRE(machine_->interconnect().has_nodes(),
+                "two-level combine requires a node hierarchy");
+    MGG_REQUIRE(static_cast<int>(policy.node_universe.size()) ==
+                    machine_->num_devices(),
+                "two-level policy needs one node universe per device");
+  }
+  {
+    std::lock_guard<std::mutex> lock(relay_mutex_);
+    two_level_ = std::move(policy);
+  }
+  two_level_enabled_.store(two_level_.enabled, std::memory_order_release);
+}
+
+void CommBus::stage_relay(int src, int dst, int gateway,
+                          const Message& msg) {
+  RelayEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(relay_mutex_);
+    if (!relay_entry_pool_.empty()) {
+      entry = std::move(relay_entry_pool_.back());
+      relay_entry_pool_.pop_back();
+    }
+  }
+  entry.src = src;
+  entry.dst = dst;
+  entry.tag = msg.tag;
+  entry.vertex_slots = msg.vertex_slots;
+  entry.value_slots = msg.value_slots;
+  entry.was_encoded = msg.encoding != WireFormat::kRawIds;
+  if (entry.was_encoded) {
+    // The sender compressed its bucket before the intra-node hop; the
+    // gateway must decode to merge. Decode a scratch copy here (the
+    // delivered message must stay encoded — the receiver's drain path
+    // decodes and charges it exactly as in flat mode) and charge the
+    // gateway's decode kernel at flush time.
+    Message scratch;
+    scratch.encoding = msg.encoding;
+    scratch.wire = msg.wire;
+    scratch.wire_items = msg.wire_items;
+    wire::decode(scratch);
+    entry.vertices = std::move(scratch.vertices);
+  } else {
+    entry.vertices = msg.vertices;
+  }
+  std::lock_guard<std::mutex> lock(relay_mutex_);
+  relay_[gateway].push_back(std::move(entry));
+}
+
+void CommBus::flush_relays() {
+  if (!two_level_enabled()) return;
+  // Runs single-threaded in the superstep-close barrier completion,
+  // after every sender's comm stream synchronized — no staging races
+  // in; the lock is belt-and-braces against misuse.
+  std::lock_guard<std::mutex> lock(relay_mutex_);
+  for (std::size_t g = 0; g < relay_.size(); ++g) {
+    auto& entries = relay_[g];
+    if (entries.empty()) continue;
+    // Deterministic flush order regardless of comm-stream scheduling:
+    // groups by (dst, tag), senders within a group by src — the same
+    // tag-sorted (src_gpu, tag) order the receiver's combine uses.
+    std::sort(entries.begin(), entries.end(),
+              [](const RelayEntry& a, const RelayEntry& b) {
+                if (a.dst != b.dst) return a.dst < b.dst;
+                if (a.tag != b.tag) return a.tag < b.tag;
+                return a.src < b.src;
+              });
+    vgpu::Device& gw = machine_->device(static_cast<int>(g));
+    for (const RelayEntry& e : entries) {
+      if (e.was_encoded) {
+        gw.add_kernel_cost(0, e.vertices.size(), 1, 1.0, "gateway_decode",
+                           vgpu::TraceCategory::kCombine);
+      }
+    }
+    for (std::size_t i = 0; i < entries.size();) {
+      std::size_t j = i;
+      std::size_t staged_items = 0;
+      while (j < entries.size() && entries[j].dst == entries[i].dst &&
+             entries[j].tag == entries[i].tag) {
+        staged_items += entries[j].vertices.size();
+        ++j;
+      }
+      const int dst = entries[i].dst;
+      merge_scratch_.clear();
+      merge_scratch_.reserve(staged_items);
+      for (std::size_t k = i; k < j; ++k) {
+        for (const VertexT v : entries[k].vertices) {
+          merge_scratch_.push_back(v);
+        }
+      }
+      if (two_level_.combine == TwoLevelPolicy::Combine::kDedupMin) {
+        // The surviving key set of the (src, tag)-ordered min-combine
+        // is exactly the sorted unique set; sorting also makes the
+        // merged sequence ascending, so the bitmap re-encode is
+        // admissible when the density pays.
+        std::sort(merge_scratch_.begin(), merge_scratch_.end());
+        const auto last =
+            std::unique(merge_scratch_.begin(), merge_scratch_.end());
+        merge_scratch_.resize(
+            static_cast<std::size_t>(last - merge_scratch_.begin()));
+      }
+      const std::size_t merged_n = merge_scratch_.size();
+      gateway_merges_.fetch_add(1, std::memory_order_relaxed);
+      gateway_dedup_items_.fetch_add(staged_items - merged_n,
+                                     std::memory_order_relaxed);
+      // The merge pass touches every staged vertex once.
+      gw.add_kernel_cost(0, staged_items, 1, 1.0, "gateway_merge",
+                         vgpu::TraceCategory::kCombine);
+      // Model the merged payload: the surviving vertices, one
+      // associate entry of each slot per survivor (the combined
+      // winners), re-encoded once against the destination node's
+      // hosted universe.
+      relay_scratch_.recycle();
+      relay_scratch_.set_layout(entries[i].vertex_slots,
+                                entries[i].value_slots, merged_n);
+      std::copy(merge_scratch_.begin(), merge_scratch_.end(),
+                relay_scratch_.vertices.begin());
+      const WireFormat applied = wire::encode(
+          relay_scratch_, two_level_.wire_format,
+          two_level_.density_threshold, two_level_.node_universe[dst],
+          host_pool_);
+      if (applied != WireFormat::kRawIds) {
+        gw.add_kernel_cost(0, merged_n, 1, 1.0,
+                           applied == WireFormat::kBitmap
+                               ? "wire_encode_bitmap"
+                               : "wire_encode_varint",
+                           vgpu::TraceCategory::kCombine);
+      }
+      const std::size_t bytes = relay_scratch_.payload_bytes();
+      // The gateway hop is a first-class fault-injection surface,
+      // retried and backed off like any direct push.
+      double backoff_s = 0.0;
+      const double slowdown =
+          consult_transfer_faults(static_cast<int>(g), dst, backoff_s);
+      const double seconds =
+          machine_->interconnect().transfer_seconds(static_cast<int>(g),
+                                                    dst, bytes) *
+              slowdown +
+          backoff_s;
+      // items = 0: the staged hops already counted every item once.
+      gw.add_comm_cost(seconds, bytes, 0, gw.modeled_compute_time(),
+                       "push_inter_node", dst);
+      machine_->interconnect().record_transfer(bytes);
+      inter_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      switch (applied) {
+        case WireFormat::kBitmap:
+          wire_bytes_bitmap_.fetch_add(bytes, std::memory_order_relaxed);
+          break;
+        case WireFormat::kDeltaVarint:
+          wire_bytes_delta_.fetch_add(bytes, std::memory_order_relaxed);
+          break;
+        default:
+          wire_bytes_raw_.fetch_add(bytes, std::memory_order_relaxed);
+          break;
+      }
+      i = j;
+    }
+    for (RelayEntry& e : entries) {
+      e.vertices.clear();
+      relay_entry_pool_.push_back(std::move(e));
+    }
+    entries.clear();
+  }
 }
 
 std::vector<Message>& CommBus::drain(int dst) {
@@ -613,6 +812,19 @@ void CommBus::reset() {
   // synchronization above retires everything submitted so far) drops
   // its payload instead of delivering.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Drop any staged relay buckets the retiring run never flushed
+    // (e.g. a run aborted mid-superstep); their entry buffers return
+    // to the free list.
+    std::lock_guard<std::mutex> lock(relay_mutex_);
+    for (auto& entries : relay_) {
+      for (RelayEntry& e : entries) {
+        e.vertices.clear();
+        relay_entry_pool_.push_back(std::move(e));
+      }
+      entries.clear();
+    }
+  }
   for (int d = 0; d < machine_->num_devices(); ++d) {
     {
       std::lock_guard<std::mutex> lock(locks_[d]);

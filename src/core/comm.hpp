@@ -259,6 +259,38 @@ struct WireStats {
   std::uint64_t decoded_vertices = 0;  ///< vertices through wire::decode
 };
 
+/// Two-level combine policy for multi-node topologies
+/// (docs/architecture.md §14). Installed per run by the enactor when
+/// Config::two_level_combine is on and the machine has a node
+/// hierarchy; a default-constructed policy (enabled == false) is the
+/// flat path.
+struct TwoLevelPolicy {
+  bool enabled = false;
+  /// How the gateway merges the node's staged buckets before the
+  /// inter-node hop. kDedupMin models the real relay: duplicate vertex
+  /// IDs collapse to one entry whose associates are combined in the
+  /// deterministic tag-sorted (src_gpu, tag) order (first-writer /
+  /// min / sum / OR — whatever the receiving primitive's per-vertex
+  /// combine is), so the merged payload is exactly what a receiver
+  /// combining the parts would have produced. kConcat opts out for a
+  /// primitive whose cross-sender payloads cannot be combined at a
+  /// relay: buckets concatenate in src order and only the re-encode
+  /// saves bytes.
+  enum class Combine { kDedupMin, kConcat };
+  Combine combine = Combine::kDedupMin;
+  /// Wire format for the gateway's single inter-node push (the
+  /// re-encode); usually Config::wire_format.
+  WireFormat wire_format = WireFormat::kRawIds;
+  /// kAuto density switch point for the re-encode.
+  double density_threshold = 1.0 / 16;
+  /// Per destination *device*: the hosted-vertex universe of its whole
+  /// node (sum of sub(q).num_total() over the node's devices) — the
+  /// density denominator for the gateway's re-encode, per the
+  /// tentpole's "bitmap density judged against the destination node's
+  /// hosted universe".
+  std::vector<std::size_t> node_universe;
+};
+
 class CommBus {
  public:
   explicit CommBus(vgpu::Machine& machine);
@@ -348,6 +380,56 @@ class CommBus {
     return w;
   }
 
+  /// Install (or clear) the two-level combine policy for the next run.
+  /// Call only between runs — after reset(), before any push. With an
+  /// enabled policy, a cross-node push is *staged*: the sender pays the
+  /// fast intra-node hop to its node's gateway for the destination
+  /// node (Interconnect::gateway) and the vertex IDs are recorded in
+  /// the gateway's relay ledger; the message itself is still delivered
+  /// to the destination inbox unchanged, so combining, results, and
+  /// every item-shaped counter are bit-identical to the flat path. The
+  /// deferred inter-node cost is realized by flush_relays().
+  void set_two_level(TwoLevelPolicy policy);
+  bool two_level_enabled() const noexcept {
+    return two_level_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Realize the gateways' modeled work for the staged cross-node
+  /// pushes of the closing superstep: per (gateway, destination, tag),
+  /// merge the staged buckets (dedup per the policy), charge the merge
+  /// (and any decode of compressed staged payloads) as gateway
+  /// kernels, re-encode once against the destination node's universe,
+  /// and charge the single inter-node transfer (fault-injected and
+  /// retried like any push, items = 0 — the items were counted once on
+  /// the staged hop). Call exactly once per superstep, after every
+  /// sender's comm stream has synchronized (the superstep-close
+  /// barrier completion), from one thread. Throws like a push on a
+  /// permanent gateway-link fault or retry exhaustion.
+  void flush_relays();
+
+  /// Link-class split of all payload bytes ever pushed (monotone, like
+  /// wire_stats(); intra + inter == total pushed bytes).
+  struct LinkBytes {
+    std::uint64_t intra = 0;
+    std::uint64_t inter = 0;
+  };
+  LinkBytes link_bytes() const noexcept {
+    LinkBytes b;
+    b.intra = intra_bytes_.load(std::memory_order_relaxed);
+    b.inter = inter_bytes_.load(std::memory_order_relaxed);
+    return b;
+  }
+
+  /// Two-level combine accounting (monotone): gateway merge flushes
+  /// performed, and vertex entries the merge-dedup removed before the
+  /// inter-node hop.
+  std::uint64_t gateway_merges() const noexcept {
+    return gateway_merges_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t gateway_dedup_items() const noexcept {
+    return gateway_dedup_items_.load(std::memory_order_relaxed);
+  }
+
   /// Host worker pool used to parallelize wire decode across the
   /// messages of a drained batch (each message decodes independently;
   /// the modeled decode charges are still issued sequentially in batch
@@ -363,6 +445,30 @@ class CommBus {
   /// the work runs. Called under no lock: the batch is thread-local to
   /// the receiver after drain()/drain_from().
   void decode_batch(int dst, std::vector<Message>& batch);
+
+  /// One sender's staged cross-node bucket awaiting its gateway's
+  /// flush: the decoded vertex IDs plus the layout needed to model the
+  /// merged payload's bytes.
+  struct RelayEntry {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    int vertex_slots = 0;
+    int value_slots = 0;
+    /// Decoded vertex IDs (a compressed staged payload is decoded at
+    /// staging time; the decode is charged to the gateway at flush).
+    util::PodVector<VertexT> vertices;
+    bool was_encoded = false;
+  };
+
+  /// Fault consultation + bounded retry for one modeled transfer on
+  /// link src->dst (no-op returning slowdown 1 without an injector).
+  /// Accumulates modeled backoff into `backoff_s`; throws
+  /// Error(kUnavailable) on a permanent fault or retry exhaustion.
+  double consult_transfer_faults(int src, int dst, double& backoff_s);
+
+  /// Record one staged cross-node push in the gateway's ledger.
+  void stage_relay(int src, int dst, int gateway, const Message& msg);
 
   vgpu::Machine* machine_;
   /// Run stamp; pushes submitted under an older epoch are dropped at
@@ -383,6 +489,25 @@ class CommBus {
   std::atomic<std::uint64_t> wire_bytes_delta_{0};
   std::atomic<std::uint64_t> wire_encoded_{0};
   std::atomic<std::uint64_t> wire_decoded_{0};
+  std::atomic<std::uint64_t> intra_bytes_{0};
+  std::atomic<std::uint64_t> inter_bytes_{0};
+  std::atomic<std::uint64_t> gateway_merges_{0};
+  std::atomic<std::uint64_t> gateway_dedup_items_{0};
+  /// Cheap hot-path flag mirroring two_level_.enabled; the full policy
+  /// is only read when it is set, and only set between runs.
+  std::atomic<bool> two_level_enabled_{false};
+  TwoLevelPolicy two_level_;
+  /// Per-gateway staged buckets for the current superstep, plus a
+  /// free list so steady-state staging reuses entry buffers. Guarded
+  /// by relay_mutex_ (staging runs on the senders' comm streams).
+  std::mutex relay_mutex_;
+  std::vector<std::vector<RelayEntry>> relay_;
+  std::vector<RelayEntry> relay_entry_pool_;
+  /// Flush-only scratch (flush runs single-threaded in the
+  /// superstep-close barrier): the merged payload being modeled, and
+  /// the merge workspace.
+  Message relay_scratch_;
+  util::PodVector<VertexT> merge_scratch_;
   util::ThreadPool* host_pool_ = nullptr;
 };
 

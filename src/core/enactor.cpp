@@ -166,6 +166,34 @@ vgpu::RunStats EnactorBase::enact() {
   progress_.store(0, std::memory_order_relaxed);
   const std::uint64_t comm_retry_base = bus_->comm_retries();
   const WireStats wire_base = bus_->wire_stats();
+  const CommBus::LinkBytes link_base = bus_->link_bytes();
+  const std::uint64_t gateway_merge_base = bus_->gateway_merges();
+  const std::uint64_t gateway_dedup_base = bus_->gateway_dedup_items();
+  // Two-level combine (docs/architecture.md §14): active only when
+  // requested *and* the machine actually has a node hierarchy — on a
+  // single-node machine the flag is inert and the flat path runs
+  // untouched. Installed after the bus reset, before any worker can
+  // push.
+  const vgpu::Interconnect& net = problem_.machine().interconnect();
+  two_level_active_ = cfg.two_level_combine && net.has_nodes() && n_ > 1;
+  {
+    TwoLevelPolicy policy;
+    if (two_level_active_) {
+      policy.enabled = true;
+      policy.combine = gateway_combine();
+      policy.wire_format = cfg.wire_format;
+      policy.density_threshold = cfg.wire_density_threshold;
+      policy.node_universe.assign(static_cast<std::size_t>(n_), 0);
+      for (int d = 0; d < n_; ++d) {
+        std::size_t universe = 0;
+        for (int q = 0; q < n_; ++q) {
+          if (net.same_node(q, d)) universe += problem_.sub(q).num_total();
+        }
+        policy.node_universe[static_cast<std::size_t>(d)] = universe;
+      }
+    }
+    bus_->set_two_level(std::move(policy));
+  }
   const std::uint64_t fault_base =
       injector != nullptr ? injector->injected_count() : 0;
   run_stats_.watchdog_deadline_s = cfg.watchdog_deadline_s;
@@ -247,6 +275,14 @@ vgpu::RunStats EnactorBase::enact() {
         wire_now.encoded_vertices - wire_base.encoded_vertices;
     run_stats_.wire_decode_vertices =
         wire_now.decoded_vertices - wire_base.decoded_vertices;
+  }
+  {
+    const CommBus::LinkBytes link_now = bus_->link_bytes();
+    run_stats_.intra_node_bytes = link_now.intra - link_base.intra;
+    run_stats_.inter_node_bytes = link_now.inter - link_base.inter;
+    run_stats_.gateway_merges = bus_->gateway_merges() - gateway_merge_base;
+    run_stats_.gateway_dedup_items =
+        bus_->gateway_dedup_items() - gateway_dedup_base;
   }
   if (injector != nullptr) {
     run_stats_.faults_injected = injector->injected_count() - fault_base;
@@ -576,6 +612,14 @@ void EnactorBase::close_iteration() {
 }
 
 void EnactorBase::close_iteration_body() {
+  // Realize the gateways' staged inter-node pushes *before* harvesting:
+  // the merge/encode kernels and the merged transfers belong to the
+  // closing superstep's counters. Safe here: this runs exclusively in
+  // the barrier completion, after every sender synchronized its comm
+  // stream in both schedules. May throw (the gateway hop is a
+  // fault-injection surface); close_iteration() converts that into the
+  // regular error stop.
+  if (two_level_active_) bus_->flush_relays();
   vgpu::IterationRecord record;
   record.iteration = iteration_;
   double max_compute = 0;
@@ -617,9 +661,12 @@ void EnactorBase::close_iteration_body() {
   run_stats_.modeled_overlap_hidden_s += hidden;
   // One barrier's worth of latency per superstep in pipeline mode (only
   // the convergence barrier remains); two in BSP. The two-barrier value
-  // is bit-identical to the historical l(n) charge.
+  // is bit-identical to the historical l(n) charge. The two-level
+  // combine adds one more: the node-local rendezvous at which the
+  // gateways' merged pushes are released.
+  const int barriers = (pipeline_ ? 1 : 2) + (two_level_active_ ? 1 : 0);
   const double overhead =
-      vgpu::sync_overhead_seconds(n_, pipeline_ ? 1 : 2) * sync_scale_;
+      vgpu::sync_overhead_seconds(n_, barriers) * sync_scale_;
   run_stats_.modeled_overhead_s += overhead;
   if (tracer_ != nullptr) {
     // Safe here: this runs exclusively in the barrier completion, after

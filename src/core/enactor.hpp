@@ -196,6 +196,17 @@ class EnactorBase {
   /// otherwise a mid-core OOM propagates as a clean typed Error.
   virtual bool core_replayable() const { return false; }
 
+  /// How a two-level gateway may merge this primitive's staged
+  /// cross-node buckets before the inter-node hop (docs §14). The
+  /// default dedup-merge is byte-honest whenever the receiver's
+  /// per-vertex combine is reducible at a relay — first-writer (BFS),
+  /// min (SSSP/CC), sum (PR/BC), OR (multi-source masks) — which is
+  /// every in-tree primitive. Override to kConcat for a primitive
+  /// whose cross-sender payloads must all reach the receiver verbatim.
+  virtual TwoLevelPolicy::Combine gateway_combine() const {
+    return TwoLevelPolicy::Combine::kDedupMin;
+  }
+
   // ------------------------------------------------------------------
   // Services available to primitives.
   // ------------------------------------------------------------------
@@ -330,6 +341,11 @@ class EnactorBase {
   int n_ = 0;
   /// Event-pipeline schedule selected (Config::sync_mode)?
   bool pipeline_ = false;
+  /// Two-level combine engaged this run (Config::two_level_combine on
+  /// a machine with a node hierarchy)? Set per enact(); drives the
+  /// gateway flush in close_iteration_body and the extra rendezvous
+  /// barrier in the overhead charge.
+  bool two_level_active_ = false;
   /// l(n) multiplier: the *max* sync_scale across participating
   /// devices — a barrier completes when its slowest participant
   /// arrives, so heterogeneous vGPU models must not be averaged away

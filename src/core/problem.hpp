@@ -65,6 +65,18 @@ struct Config {
   /// 1/32 density; 1/16 leaves margin for the varint's wins on sparse
   /// ascending buckets.
   double wire_density_threshold = 1.0 / 16;
+  /// Two-level combine for multi-node topologies (docs/architecture.md
+  /// §14): when on and the machine has a node hierarchy
+  /// (Interconnect::has_nodes()), cross-node pushes are staged through
+  /// a deterministic per-destination-node gateway vGPU — senders pay
+  /// the fast intra-node hop, the gateway merge-dedups the node's
+  /// buckets, re-encodes once (bitmap density judged against the
+  /// destination *node's* hosted universe), and pays a single
+  /// inter-node transfer. Results, frontiers, and every item-shaped
+  /// counter stay bit-identical to the flat path — only the modeled
+  /// byte/time split across link classes and the gateway's kernel
+  /// charges change. Ignored on single-node machines.
+  bool two_level_combine = false;
   /// Host worker threads backing the shared util::ThreadPool that the
   /// kernel-execution hot paths (advance pipelines, gather packaging,
   /// wire encode/decode, route pass, load-balance scan) run on.

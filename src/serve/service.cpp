@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <thread>
 
@@ -14,6 +15,18 @@ namespace mgg::serve {
 
 namespace {
 constexpr ValueT kInf = std::numeric_limits<ValueT>::infinity();
+}
+
+double percentile(std::span<const double> sorted, double p) {
+  MGG_REQUIRE(!sorted.empty(), "percentile of an empty sample");
+  MGG_REQUIRE(p > 0 && p <= 1.0, "percentile p must be in (0, 1]");
+  // Nearest rank: ceil(p * n), 1-based. The epsilon guards the FP
+  // hazard where p * n lands epsilon *above* an integer (0.99 * 100 =
+  // 99.000000000000014) and ceil would overshoot by a whole rank.
+  const double n = static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p * n - 1e-9));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
 }
 
 const char* to_string(QueryKind kind) {
@@ -231,13 +244,8 @@ std::vector<QueryResult> QueryService::run(std::span<const Query> queries) {
   for (const QueryResult& r : results) latencies.push_back(r.latency_ms);
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
-    const auto at = [&](double p) {
-      const std::size_t idx = static_cast<std::size_t>(
-          p * static_cast<double>(latencies.size() - 1));
-      return latencies[idx];
-    };
-    stats_.p50_ms = at(0.50);
-    stats_.p99_ms = at(0.99);
+    stats_.p50_ms = percentile(latencies, 0.50);
+    stats_.p99_ms = percentile(latencies, 0.99);
   }
   return results;
 }

@@ -48,6 +48,13 @@ struct ServeOptions {
   vgpu::Tracer* tracer = nullptr;
 };
 
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element with at least `ceil(p * n)` of the sample at or below it.
+/// Unlike the truncating `p * (n - 1)` index this never under-reports
+/// on small n (n = 2: p50 is the max, not the min) and p100 is always
+/// the max. `p` in (0, 1]; `sorted` must be non-empty and ascending.
+double percentile(std::span<const double> sorted, double p);
+
 /// Aggregate service-side statistics for the last run().
 struct ServeStats {
   std::uint64_t queries = 0;

@@ -81,6 +81,18 @@ struct RunStats {
   std::uint64_t wire_bytes_delta = 0;
   std::uint64_t wire_encode_vertices = 0;
   std::uint64_t wire_decode_vertices = 0;
+  /// Link-class split of total_comm_bytes (docs/architecture.md §14):
+  /// bytes that traveled intra-node (peer or host-routed PCIe) vs
+  /// across the inter-node link. The two always sum to
+  /// total_comm_bytes; on a single-node machine everything is intra.
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
+  /// Two-level combine accounting: gateway merge flushes performed,
+  /// and the vertex entries the merge-dedup removed before the
+  /// inter-node hop (staged items minus merged unique items). Both 0
+  /// unless Config::two_level_combine engaged on a multi-node machine.
+  std::uint64_t gateway_merges = 0;
+  std::uint64_t gateway_dedup_items = 0;
 
   double modeled_total_s() const {
     return modeled_compute_s + modeled_comm_s + modeled_overhead_s -

@@ -1,6 +1,7 @@
 #include "vgpu/interconnect.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -32,6 +33,20 @@ Interconnect::Interconnect(int num_devices, int peer_group_size,
   MGG_REQUIRE(num_devices >= 1, "interconnect needs at least one device");
   MGG_REQUIRE(peer_group_size >= 1, "peer group size must be positive");
   MGG_REQUIRE(node_size >= 0, "node size must be non-negative");
+  if (node_size > 0) {
+    // A node that splits a peer group, or a device count that leaves a
+    // ragged partial node, silently produces asymmetric link
+    // classification (link(a,b) != link(b,a) grades); reject the shape
+    // outright instead.
+    MGG_REQUIRE(node_size % peer_group_size == 0,
+                "node_size (" + std::to_string(node_size) +
+                    ") must be a multiple of peer_group_size (" +
+                    std::to_string(peer_group_size) + ")");
+    MGG_REQUIRE(num_devices % node_size == 0,
+                "num_devices (" + std::to_string(num_devices) +
+                    ") must be covered by whole nodes of node_size (" +
+                    std::to_string(node_size) + ")");
+  }
   validate_link(peer_, "peer");
   validate_link(cross_, "cross");
   validate_link(internode_, "internode");
@@ -45,6 +60,14 @@ bool Interconnect::same_node(int src, int dst) const {
 bool Interconnect::is_peer(int src, int dst) const {
   return same_node(src, dst) &&
          (src / peer_group_size_) == (dst / peer_group_size_);
+}
+
+int Interconnect::gateway(int src, int dst) const {
+  MGG_REQUIRE(node_size_ > 0, "gateway() requires a node hierarchy");
+  MGG_REQUIRE(src >= 0 && src < num_devices_ && dst >= 0 &&
+                  dst < num_devices_,
+              "gateway() device out of range");
+  return (src / node_size_) * node_size_ + (dst / node_size_) % node_size_;
 }
 
 LinkParams Interconnect::link(int src, int dst) const {

@@ -45,6 +45,25 @@ class Interconnect {
   bool same_node(int src, int dst) const;
   LinkParams link(int src, int dst) const;
 
+  /// Node hierarchy metadata (§VIII scale-out topologies). A machine
+  /// with `node_size == 0` is a single node: has_nodes() is false,
+  /// node_of() returns 0 for every device, and same_node() is always
+  /// true.
+  bool has_nodes() const noexcept { return node_size_ > 0; }
+  int node_size() const noexcept { return node_size_; }
+  int num_nodes() const noexcept {
+    return node_size_ > 0 ? num_devices_ / node_size_ : 1;
+  }
+  int node_of(int device) const noexcept {
+    return node_size_ > 0 ? device / node_size_ : 0;
+  }
+  /// Deterministic gateway election for the two-level combine: the
+  /// device in src's node that relays traffic bound for dst's node.
+  /// Spreading by destination node (`dst_node % node_size`) keeps the
+  /// relay load balanced across the node's devices instead of funneling
+  /// every outbound bucket through device 0. Requires has_nodes().
+  int gateway(int src, int dst) const;
+
   /// Modeled seconds to move `bytes` from src to dst, including the
   /// §V-A injection multipliers.
   double transfer_seconds(int src, int dst, std::size_t bytes) const;

@@ -1,5 +1,7 @@
 #include "vgpu/machine.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace mgg::vgpu {
@@ -31,8 +33,11 @@ Machine Machine::create(const std::string& preset, int num_gpus) {
 Machine Machine::create_cluster(const std::string& preset,
                                 int gpus_per_node, int nodes) {
   MGG_REQUIRE(gpus_per_node >= 1 && nodes >= 1, "bad cluster shape");
+  // Nodes narrower than the default PCIe peer group (4) shrink the
+  // group to the node — Interconnect rejects nodes that split a group.
+  const int peer_group = std::min(4, gpus_per_node);
   return Machine(GpuModel::by_name(preset), gpus_per_node * nodes,
-                 /*peer_group_size=*/4, /*node_size=*/gpus_per_node);
+                 peer_group, /*node_size=*/gpus_per_node);
 }
 
 void Machine::set_id_widths(const IdWidthConfig& config) {

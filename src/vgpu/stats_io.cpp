@@ -53,6 +53,14 @@ std::string run_stats_to_json(const RunStats& stats,
       static_cast<unsigned long long>(stats.wire_encode_vertices));
   w.key("wire_decode_vertices").value(
       static_cast<unsigned long long>(stats.wire_decode_vertices));
+  w.key("intra_node_bytes").value(
+      static_cast<unsigned long long>(stats.intra_node_bytes));
+  w.key("inter_node_bytes").value(
+      static_cast<unsigned long long>(stats.inter_node_bytes));
+  w.key("gateway_merges").value(
+      static_cast<unsigned long long>(stats.gateway_merges));
+  w.key("gateway_dedup_items").value(
+      static_cast<unsigned long long>(stats.gateway_dedup_items));
   if (!records.empty()) {
     w.key("iterations_detail").begin_array();
     for (const auto& r : records) {

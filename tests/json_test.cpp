@@ -149,6 +149,10 @@ TEST(StatsIo, EveryNumericRunStatsFieldRoundTrips) {
   stats.wire_bytes_delta = 121;
   stats.wire_encode_vertices = 122;
   stats.wire_decode_vertices = 123;
+  stats.intra_node_bytes = 124;
+  stats.inter_node_bytes = 125;
+  stats.gateway_merges = 126;
+  stats.gateway_dedup_items = 127;
   const std::string json = vgpu::run_stats_to_json(stats, {});
   const std::pair<const char*, std::string> expected[] = {
       {"iterations", "101"},
@@ -174,6 +178,10 @@ TEST(StatsIo, EveryNumericRunStatsFieldRoundTrips) {
       {"wire_bytes_delta", "121"},
       {"wire_encode_vertices", "122"},
       {"wire_decode_vertices", "123"},
+      {"intra_node_bytes", "124"},
+      {"inter_node_bytes", "125"},
+      {"gateway_merges", "126"},
+      {"gateway_dedup_items", "127"},
   };
   for (const auto& [key, value] : expected) {
     const std::string needle =

@@ -188,6 +188,58 @@ TEST(Serve, TracerTagsSpansWithBatchIds) {
   EXPECT_EQ(tracer.batch(), 0u);
 }
 
+// Regression suite for the nearest-rank percentile (service.cpp). The
+// old truncating index `p * (n - 1)` under-reported on small samples:
+// with n = 2 it returned the *min* as the p50, and with n = 3 the p99
+// returned the middle element instead of the max.
+TEST(Serve, PercentileSingleSampleIsThatSample) {
+  const std::vector<double> one = {7.5};
+  EXPECT_EQ(serve::percentile(one, 0.50), 7.5);
+  EXPECT_EQ(serve::percentile(one, 0.99), 7.5);
+  EXPECT_EQ(serve::percentile(one, 1.0), 7.5);
+}
+
+TEST(Serve, PercentileTwoSamplesTailIsTheMax) {
+  // p50 is rank ceil(0.5 * 2) = 1 (the smaller element) under both the
+  // old and new formulas. The pinned bug is the tail: the old index
+  // floor(0.99 * (2 - 1)) = 0 reported the MIN of two samples as the
+  // p99; nearest rank ceil(0.99 * 2) = 2 reports the max.
+  const std::vector<double> two = {1.0, 9.0};
+  EXPECT_EQ(serve::percentile(two, 0.50), 1.0);
+  EXPECT_EQ(serve::percentile(two, 0.99), 9.0);
+  EXPECT_EQ(serve::percentile(two, 1.0), 9.0);
+}
+
+TEST(Serve, PercentileThreeSamples) {
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  // ceil(0.5 * 3) = 2 -> middle element; old floor(0.5 * 2) = 1 agreed
+  // here, but p99 must be the max (old index floor(0.99 * 2) = 1 was
+  // the middle).
+  EXPECT_EQ(serve::percentile(three, 0.50), 2.0);
+  EXPECT_EQ(serve::percentile(three, 0.99), 3.0);
+}
+
+TEST(Serve, PercentileHundredSamplesNoFloatOvershoot) {
+  // 0.99 * 100 = 99.000000000000014 in binary FP; a naive ceil would
+  // overshoot to rank 100. Nearest rank for p99 of 100 samples is
+  // rank 99 (0-based index 98).
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = static_cast<double>(i);
+  EXPECT_EQ(serve::percentile(v, 0.99), 98.0);
+  EXPECT_EQ(serve::percentile(v, 0.50), 49.0);
+  EXPECT_EQ(serve::percentile(v, 1.0), 99.0);
+  EXPECT_EQ(serve::percentile(v, 0.01), 0.0);
+}
+
+TEST(Serve, PercentileRejectsBadArguments) {
+  const std::vector<double> empty;
+  EXPECT_THROW(serve::percentile(empty, 0.5), Error);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(serve::percentile(one, 0.0), Error);
+  EXPECT_THROW(serve::percentile(one, 1.5), Error);
+  EXPECT_THROW(serve::percentile(one, -0.5), Error);
+}
+
 TEST(Serve, RejectsSsspOnUnweightedGraph) {
   static const graph::Graph unweighted = test::small_rmat();
   serve::QueryService service(unweighted, options_for(2));

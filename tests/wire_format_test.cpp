@@ -361,6 +361,58 @@ TEST(WireFormat, AutoHeuristicPicksBitmapOnlyWhenDense) {
              /*universe=*/1024);
 }
 
+TEST(WireFormat, ClusterUniverseDensityEvaluation) {
+  // Cluster topology case: the two-level combine (§14) re-encodes a
+  // gateway's merged payload against the destination *node's* hosted
+  // universe (sum over its GPUs) rather than one GPU's. The codecs'
+  // contract must hold for either universe: the decoded sequence is
+  // identical no matter which universe judged the density, and when a
+  // sequence is dense under both universes the format decision matches
+  // too. Model a 4-GPU node with 1024 hosted vertices per GPU.
+  constexpr std::size_t kGpuUniverse = 1024;
+  constexpr std::size_t kNodeUniverse = 4 * kGpuUniverse;
+
+  // Dense under both universes (every vertex of the first GPU's range):
+  // 1024 / 1024 and 1024 / 4096 both clear the 1/16 threshold, so both
+  // evaluations pick bitmap, and decode returns the same sequence.
+  std::vector<VertexT> dense(kGpuUniverse);
+  std::iota(dense.begin(), dense.end(), 0u);
+  round_trip(dense, WireFormat::kAuto, WireFormat::kBitmap, kGpuUniverse);
+  round_trip(dense, WireFormat::kAuto, WireFormat::kBitmap, kNodeUniverse);
+
+  // Sparse under both: varint either way, and the varint stream does
+  // not depend on the universe at all — byte-identical wires.
+  const std::vector<VertexT> sparse = {3, 97, 511, 700, 2048, 4000};
+  Message a = make_msg(sparse);
+  Message b = make_msg(sparse);
+  EXPECT_EQ(core::wire::encode(a, WireFormat::kAuto, 1.0 / 16, kGpuUniverse),
+            WireFormat::kDeltaVarint);
+  EXPECT_EQ(core::wire::encode(b, WireFormat::kAuto, 1.0 / 16, kNodeUniverse),
+            WireFormat::kDeltaVarint);
+  ASSERT_EQ(a.wire.size(), b.wire.size());
+  for (std::size_t i = 0; i < a.wire.size(); ++i) {
+    EXPECT_EQ(a.wire[i], b.wire[i]) << "varint byte " << i;
+  }
+  core::wire::decode(a);
+  core::wire::decode(b);
+  ASSERT_EQ(a.vertices.size(), sparse.size());
+  ASSERT_EQ(b.vertices.size(), sparse.size());
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_EQ(a.vertices[i], sparse[i]);
+    EXPECT_EQ(b.vertices[i], sparse[i]);
+  }
+
+  // The boundary case: 128 vertices is 128/1024 = 1/8 dense for one
+  // GPU (bitmap) but 128/4096 = 1/32 for the node (varint). The
+  // *decision* legitimately differs — the *decoded result* must not.
+  std::vector<VertexT> boundary(128);
+  std::iota(boundary.begin(), boundary.end(), 0u);
+  for (auto& v : boundary) v *= 8;  // ascending, spread over the GPU range
+  round_trip(boundary, WireFormat::kAuto, WireFormat::kBitmap, kGpuUniverse);
+  round_trip(boundary, WireFormat::kAuto, WireFormat::kDeltaVarint,
+             kNodeUniverse);
+}
+
 TEST(WireFormat, DecodeRejectsCorruptPayloads) {
   // Truncated varint stream.
   Message msg = make_msg({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
