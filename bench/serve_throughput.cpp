@@ -28,11 +28,17 @@
 // and the distinct tags must equal the batch count, and the
 // per-category modeled-time attribution is printed.
 //
+// Finally an open-loop row (informational): the same workload arriving
+// on a Poisson clock at --offered-qps (default 2000), admitted at
+// arrival with a bounded pending set, reporting offered vs achieved
+// QPS and the shed count (docs/architecture.md §15).
+//
 // Flags: common set (--queries/--query-seed/--batch-width documented
 // in bench_support.hpp) plus --lanes=N concurrent lanes for the sweep
-// (default 2). --trace=PATH writes the 4-vGPU sweep row's batch-tagged
-// Chrome trace (this binary drives the serve layer directly, so the
-// common harness's first-run capture does not apply).
+// (default 2) and --offered-qps=N for the open-loop row. --trace=PATH
+// writes the 4-vGPU sweep row's batch-tagged Chrome trace (this binary
+// drives the serve layer directly, so the common harness's first-run
+// capture does not apply).
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -87,7 +93,7 @@ core::Config config_for(int gpus, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace mgg;
-  const auto options = bench::parse_common(argc, argv, {"lanes"});
+  const auto options = bench::parse_common(argc, argv, {"lanes", "offered-qps"});
   const auto workload = bench::parse_query_workload(options);
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
   const int lanes = static_cast<int>(options.get_int("lanes", 2));
@@ -204,6 +210,39 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(sweep_table, options);
+
+  // ----------------------------------------------------------------
+  // Open-loop arrivals: offered vs achieved QPS (informational).
+  // Queries arrive on a Poisson clock instead of a closed drain; the
+  // service admits at arrival time and sheds (reject-newest) once
+  // admission_capacity queries are pending. Wall-clock dependent, so
+  // no thresholds — the only hard check is lossless accounting.
+  // ----------------------------------------------------------------
+  {
+    const double offered_qps =
+        static_cast<double>(options.get_int("offered-qps", 2000));
+    serve::ServeOptions opts;
+    opts.config = config_for(kGateGpus, seed);
+    opts.batch_width = workload.batch_width;
+    opts.num_lanes = lanes;
+    opts.admission_capacity = 4 * static_cast<std::size_t>(
+                                      workload.batch_width);
+    const auto arrivals = serve::generate_poisson_arrivals(
+        queries.size(), offered_qps, workload.seed);
+    serve::QueryService service(ds.graph, opts);
+    const auto results = service.run_open_loop(queries, arrivals);
+    const auto& s = service.stats();
+    const auto lost = s.queries -
+                      (s.answered + s.timed_out + s.shed + s.failed);
+    ok &= check(results.size() == queries.size() && lost == 0,
+                "open-loop run lost queries", "open-loop");
+    std::printf("open-loop (%d vGPUs, %d lanes, capacity %zu): offered "
+                "%.0f QPS, achieved %.0f QPS, answered %llu, shed %llu, "
+                "p99 %.2f ms\n",
+                kGateGpus, lanes, opts.admission_capacity, s.offered_qps,
+                s.qps, static_cast<unsigned long long>(s.answered),
+                static_cast<unsigned long long>(s.shed), s.p99_ms);
+  }
 
   const std::string trace_path = options.get_string("trace", "");
   if (!trace_path.empty()) {

@@ -75,6 +75,21 @@ echo "==> serve_throughput acceptance gate"
 # QPS/latency sweep is informational.
 "$BUILD/bench/serve_throughput"
 
+echo "==> serve-layer resilience suites (explicit)"
+# Supervisor policy units (backoff, batch-queue ordering, restart /
+# quarantine budgets) plus the chaos-facing service behaviors:
+# deadlines, lane restart with survivor takeover, admission shedding
+# and the lossless-accounting invariant (docs/architecture.md §15).
+"$BUILD/tests/mgg_tests" --gtest_filter='Supervisor.*:ServeChaos.*'
+
+echo "==> serve_chaos acceptance gate"
+# Faults degrade throughput, never answers: fault-free runs keep every
+# resilience counter at zero with bit-identical repeats; scripted +
+# seeded chaos loses zero queries, provably restarts and requeues at
+# least once, and every answered query matches its fault-free
+# individual run; open-loop overload sheds instead of queueing.
+"$BUILD/bench/serve_chaos"
+
 echo "==> hierarchy + two-level combine suites (explicit)"
 # Interconnect shape validation / link classification / gateway
 # election, and flat-vs-two-level bit-identity with the byte-split and
@@ -131,6 +146,11 @@ TSAN_FILTER+=':ParallelExec.*'
 # (the new race surface — shared read-only CSR slices, the atomic batch
 # queue, the stats mutex, and Tracer batch tags from lane threads).
 TSAN_FILTER+=':MsBfs.*:Serve.*'
+# Resilience layer: lane threads fail/restart while the supervisor
+# mutates shared state, the batch queue re-orders under backoff, the
+# open-loop dispatcher admits from its own thread, and per-query
+# resolution races are claimed via the single-writer ticket protocol.
+TSAN_FILTER+=':Supervisor.*:ServeChaos.*'
 # Two-level combine: stage_relay runs on the sender comm streams under
 # the relay mutex while flush_relays drains from the closing control
 # thread and bumps the link-split/gateway atomics.

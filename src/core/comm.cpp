@@ -450,8 +450,7 @@ void CommBus::push(int src, int dst, Message message) {
         // still delivered to dst unchanged (the correctness path; its
         // modeled inter-node cost is realized at the gateway flush).
         const bool staged = cross_node && two_level_enabled();
-        const int hop_dst =
-            staged ? machine_->interconnect().gateway(src, dst) : dst;
+        const int hop_dst = staged ? elect_gateway(src, dst) : dst;
         double slowdown = 1.0;
         double backoff_s = 0.0;
         if (src != hop_dst) {
@@ -524,6 +523,25 @@ void CommBus::set_two_level(TwoLevelPolicy policy) {
     two_level_ = std::move(policy);
   }
   two_level_enabled_.store(two_level_.enabled, std::memory_order_release);
+}
+
+int CommBus::elect_gateway(int src, int dst) const {
+  const vgpu::Interconnect& net = machine_->interconnect();
+  const int base = net.gateway(src, dst);
+  const vgpu::FaultInjector* injector = machine_->fault_injector();
+  const int lost = injector != nullptr ? injector->lost_device() : -1;
+  if (lost < 0 || base != lost) return base;
+  // Failover: re-elect the next live device of src's node,
+  // deterministically (scan upward from the base election, wrapping
+  // within the node). A single-device node has no one else to elect —
+  // keep the base and let the transfer sites report the loss.
+  const int node_size = net.node_size();
+  const int node_base = (src / node_size) * node_size;
+  for (int k = 1; k < node_size; ++k) {
+    const int candidate = node_base + (base - node_base + k) % node_size;
+    if (candidate != lost) return candidate;
+  }
+  return base;
 }
 
 void CommBus::stage_relay(int src, int dst, int gateway,

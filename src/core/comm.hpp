@@ -394,6 +394,17 @@ class CommBus {
     return two_level_enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Gateway election with failover: Interconnect::gateway's
+  /// deterministic relay for (src, dst), unless that device has been
+  /// marked lost by the machine's fault injector — then the next live
+  /// device of src's node (scanning upward from the base election,
+  /// wrapping within the node) is elected instead, so a superstep's
+  /// cross-node staging survives the loss instead of funneling traffic
+  /// through a dead relay. Pure function of (src, dst, lost device):
+  /// every sender in the node re-elects the same replacement. Falls
+  /// back to the base election on a single-device node.
+  int elect_gateway(int src, int dst) const;
+
   /// Realize the gateways' modeled work for the staged cross-node
   /// pushes of the closing superstep: per (gateway, destination, tag),
   /// merge the staged buckets (dedup per the policy), charge the merge

@@ -197,6 +197,11 @@ vgpu::RunStats EnactorBase::enact() {
   const std::uint64_t fault_base =
       injector != nullptr ? injector->injected_count() : 0;
   run_stats_.watchdog_deadline_s = cfg.watchdog_deadline_s;
+  run_stats_.enact_deadline_s = enact_deadline_s_;
+  // Per-run deadline + abort hooks: a stale abort from a previous run
+  // must not kill this one, and the budget clock starts now.
+  abort_requested_.store(false, std::memory_order_release);
+  enact_timer_.restart();
   // Dense frontiers are strictly opt-in: the threshold only reaches the
   // operator contexts when the primitive declares support. Wired here
   // (not the constructor) because dense_frontier_capable() is virtual.
@@ -611,7 +616,37 @@ void EnactorBase::close_iteration() {
   }
 }
 
+void EnactorBase::request_abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex_);
+    abort_reason_ = reason;
+  }
+  abort_requested_.store(true, std::memory_order_release);
+}
+
 void EnactorBase::close_iteration_body() {
+  // Abort + deadline checks first: both route through close_iteration's
+  // catch into the regular error-stop protocol (record_error(n_) + stop
+  // flag — the watchdog's path), so workers drain out of the loop and
+  // the enactor stays reusable. Checked here because every superstep
+  // closes through this exclusive callback in both schedules; a
+  // *stalled* pipeline superstep never closes, which is exactly the
+  // case Config::watchdog_deadline_s covers.
+  if (abort_requested_.load(std::memory_order_acquire)) {
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(abort_mutex_);
+      reason = abort_reason_;
+    }
+    throw Error(Status::kUnavailable, "enactment aborted: " + reason);
+  }
+  if (enact_deadline_s_ > 0 &&
+      enact_timer_.seconds() > enact_deadline_s_) {
+    throw Error(Status::kTimedOut,
+                "enactment deadline of " +
+                    std::to_string(enact_deadline_s_) + " s exceeded after " +
+                    std::to_string(iteration_) + " superstep(s)");
+  }
   // Realize the gateways' staged inter-node pushes *before* harvesting:
   // the merge/encode kernels and the merged transfers belong to the
   // closing superstep's counters. Safe here: this runs exclusively in

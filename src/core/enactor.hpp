@@ -45,6 +45,7 @@
 #include "core/handshake.hpp"
 #include "core/operators.hpp"
 #include "core/problem.hpp"
+#include "util/timer.hpp"
 #include "vgpu/cost.hpp"
 
 namespace mgg::core {
@@ -115,6 +116,25 @@ class EnactorBase {
 
   Slice& slice(int gpu) { return *slices_[gpu]; }
   int num_gpus() const noexcept { return n_; }
+
+  /// Arm a wall-clock budget for enact(): when a superstep closes past
+  /// `seconds` of run wall time, the run aborts through the regular
+  /// error-stop protocol (the same path the pipeline watchdog uses)
+  /// with Status::kTimedOut, leaving the enactor reusable. Sticky
+  /// across runs until changed; 0 (the default) disarms it and the
+  /// check is two loads per superstep — no modeled cost either way.
+  /// The serve layer arms this per batch with the member queries'
+  /// remaining deadline budget.
+  void set_enact_deadline(double seconds) { enact_deadline_s_ = seconds; }
+  double enact_deadline() const noexcept { return enact_deadline_s_; }
+
+  /// Cross-thread abort: the in-flight enact() stops at the next
+  /// superstep close with Status::kUnavailable carrying `reason`, via
+  /// the same error-stop protocol as a device loss — workers drain to
+  /// the barriers and the enactor stays reusable. Safe from any
+  /// thread; cleared at the start of every enact(). A no-op when no
+  /// run is in flight (the next enact() clears it).
+  void request_abort(const std::string& reason);
 
   /// Empty every GPU's frontier (start of a new run).
   void reset_frontiers();
@@ -376,6 +396,16 @@ class EnactorBase {
   std::vector<std::exception_ptr> errors_;
 
   std::uint64_t iteration_ = 0;
+  /// Per-run wall budget (set_enact_deadline); checked when a
+  /// superstep closes, in both schedules — BSP workers always reach
+  /// the completion barrier, and in pipeline mode the watchdog covers
+  /// the stalled-handshake case this check cannot see.
+  double enact_deadline_s_ = 0;
+  util::WallTimer enact_timer_;
+  /// request_abort() flag + reason, consumed at superstep close.
+  std::atomic<bool> abort_requested_{false};
+  std::mutex abort_mutex_;
+  std::string abort_reason_;
   /// Superstep replays performed by run_core_with_recovery this run.
   std::atomic<std::uint64_t> oom_regrows_{0};
   /// Watchdog (armed per enact() when pipeline_ and

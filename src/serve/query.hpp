@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "util/error.hpp"
 
 namespace mgg::serve {
 
@@ -29,6 +30,12 @@ struct Query {
   QueryKind kind = QueryKind::kReachability;
   VertexT src = 0;
   VertexT dst = 0;
+  /// Wall-clock answer deadline in seconds, relative to admission
+  /// (run() start in closed-loop mode, the arrival instant in
+  /// open-loop mode). 0 = no deadline. A batch is enacted under the
+  /// minimum remaining budget of its members; queries whose budget
+  /// expires resolve with Status::kTimedOut instead of an answer.
+  double deadline_s = 0;
 };
 
 struct QueryResult {
@@ -43,7 +50,17 @@ struct QueryResult {
   /// the same tag the Tracer stamps on the batch's spans.
   std::uint64_t batch = 0;
   int lane = 0;            ///< service lane that ran the batch
-  double latency_ms = 0;   ///< admission-to-answer wall time
+  double latency_ms = 0;   ///< admission-to-resolution wall time
+  /// How this query resolved. kOk: answered (the fields above are
+  /// valid and bit-identical to a fault-free individual run).
+  /// kTimedOut: deadline expired before an answer. kUnavailable:
+  /// every retry/lane budget exhausted under faults. kResourceExhausted:
+  /// shed at admission (open-loop backpressure). The service never
+  /// throws for fault-induced failures — it reports them here.
+  Status status = Status::kOk;
+  /// Enactments that carried this query (retries included; 0 when the
+  /// query was shed or expired before its first dispatch).
+  int attempts = 0;
 };
 
 /// Deterministic point-query workload: sources and destinations drawn
@@ -52,5 +69,14 @@ struct QueryResult {
 /// carries edge values). ids are 1..n in order.
 std::vector<Query> generate_queries(const graph::Graph& g, std::size_t n,
                                     std::uint64_t seed, bool weighted);
+
+/// Deterministic open-loop arrival process: `n` ascending arrival
+/// times (seconds from run start) with independent exponential gaps of
+/// rate `qps` — a Poisson process, the standard open-loop load model
+/// (arrivals do not wait for answers, so saturation shows up as queue
+/// growth/shedding instead of silently stretching the run). Same
+/// (n, qps, seed) -> same arrivals.
+std::vector<double> generate_poisson_arrivals(std::size_t n, double qps,
+                                              std::uint64_t seed);
 
 }  // namespace mgg::serve

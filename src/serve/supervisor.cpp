@@ -1,0 +1,164 @@
+#include "serve/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgg::serve {
+
+double RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 0 || backoff_base_s <= 0) return 0;
+  const int exponent = std::min(attempt - 1, 52);
+  return backoff_base_s * std::ldexp(1.0, exponent);
+}
+
+const char* to_string(LaneState state) {
+  switch (state) {
+    case LaneState::kHealthy: return "healthy";
+    case LaneState::kRestarting: return "restarting";
+    case LaneState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+void BatchQueue::push(BatchTicket ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tickets_.push_back(ticket);
+  }
+  cv_.notify_all();
+}
+
+std::optional<BatchTicket> BatchQueue::pop(const util::WallTimer& clock) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (tickets_.empty()) {
+      if (closed_) return std::nullopt;
+      cv_.wait(lock);
+      continue;
+    }
+    const auto best = std::min_element(
+        tickets_.begin(), tickets_.end(),
+        [](const BatchTicket& a, const BatchTicket& b) {
+          if (a.not_before_s != b.not_before_s)
+            return a.not_before_s < b.not_before_s;
+          return a.batch_index < b.batch_index;
+        });
+    const double now = clock.seconds();
+    if (best->not_before_s <= now) {
+      BatchTicket ticket = *best;
+      tickets_.erase(best);
+      return ticket;
+    }
+    // Nothing ripe yet: bounded wait until the earliest ready time (or
+    // a push/close wakes us sooner).
+    const auto wait_s = best->not_before_s - now;
+    cv_.wait_for(lock, std::chrono::duration<double>(wait_s));
+  }
+}
+
+std::vector<BatchTicket> BatchQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BatchTicket> out;
+  out.swap(tickets_);
+  return out;
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool BatchQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t BatchQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tickets_.size();
+}
+
+Supervisor::Supervisor(int num_lanes, int max_lane_restarts)
+    : max_lane_restarts_(max_lane_restarts),
+      states_(static_cast<std::size_t>(num_lanes), LaneState::kHealthy),
+      stats_(static_cast<std::size_t>(num_lanes)) {
+  MGG_REQUIRE(num_lanes > 0, "Supervisor needs at least one lane");
+  MGG_REQUIRE(max_lane_restarts >= 0, "max_lane_restarts must be >= 0");
+  for (int i = 0; i < num_lanes; ++i) stats_[static_cast<std::size_t>(i)].lane = i;
+}
+
+Supervisor::Decision Supervisor::on_failure(int lane, Status status,
+                                            int attempt,
+                                            const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto li = static_cast<std::size_t>(lane);
+  Decision d;
+  d.query_status = status == Status::kTimedOut ? Status::kTimedOut
+                                               : Status::kUnavailable;
+
+  // Lane-fatal statuses: the machine behind the lane can no longer be
+  // trusted (device lost, transfer retries exhausted, regrow budget
+  // spent). A deadline abort (kTimedOut) is the service's own doing
+  // and leaves the lane healthy.
+  const bool lane_fatal =
+      status == Status::kUnavailable || status == Status::kOutOfMemory;
+  if (lane_fatal) {
+    if (stats_[li].restarts < static_cast<std::uint64_t>(max_lane_restarts_)) {
+      d.restart_lane = true;
+      stats_[li].restarts++;
+      states_[li] = LaneState::kRestarting;
+    } else {
+      d.quarantine_lane = true;
+      states_[li] = LaneState::kQuarantined;
+      stats_[li].state = LaneState::kQuarantined;
+    }
+  }
+
+  int live = 0;
+  for (const LaneState s : states_)
+    if (s != LaneState::kQuarantined) ++live;
+
+  if (attempt + 1 < policy.max_attempts && live > 0) {
+    d.retry_batch = true;
+    d.backoff_s = policy.backoff_before(attempt + 1);
+    stats_[li].requeues++;
+  }
+  return d;
+}
+
+void Supervisor::on_restarted(int lane) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto li = static_cast<std::size_t>(lane);
+  MGG_ASSERT(states_[li] == LaneState::kRestarting,
+             "on_restarted on a lane that was not restarting");
+  states_[li] = LaneState::kHealthy;
+  stats_[li].state = LaneState::kHealthy;
+}
+
+void Supervisor::quarantine(int lane) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto li = static_cast<std::size_t>(lane);
+  states_[li] = LaneState::kQuarantined;
+  stats_[li].state = LaneState::kQuarantined;
+}
+
+LaneState Supervisor::state(int lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return states_[static_cast<std::size_t>(lane)];
+}
+
+int Supervisor::live_lanes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int live = 0;
+  for (const LaneState s : states_)
+    if (s != LaneState::kQuarantined) ++live;
+  return live;
+}
+
+}  // namespace mgg::serve

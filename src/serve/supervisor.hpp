@@ -1,0 +1,166 @@
+// Serve-layer resilience: lane supervision, retry budgets, and the
+// ready-time batch queue (docs/architecture.md §15).
+//
+// The QueryService's lanes enact batches over injectable-fault vGPU
+// machines; this module supplies the policy layer that turns an
+// enactment failure into a *degraded* service instead of a dead one:
+//
+//   - RetryPolicy: bounded attempts per batch with exponential wall
+//     backoff between them;
+//   - Supervisor: the per-lane state machine (healthy -> restarting ->
+//     healthy ... -> quarantined) plus the failure classifier that
+//     decides, from an enactment's error status, whether the batch
+//     retries and whether the lane restarts with a fresh Machine or is
+//     quarantined for the rest of the run;
+//   - BatchQueue: the MPMC work queue the lanes pull from, ordered by
+//     ready time so a backed-off retry never starves fresh work, with
+//     a close() that releases every blocked lane.
+//
+// Everything here is policy and bookkeeping — no modeled cost is ever
+// charged, so a fault-free run's ServeStats are bit-identical with or
+// without supervision in the loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace mgg::serve {
+
+/// Bounded-attempt retry budget with exponential backoff. `attempt` is
+/// 0-based: attempt 0 is the first enactment, so a batch is enacted at
+/// most `max_attempts` times in total.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double backoff_base_s = 0.0;  ///< 0 = retry immediately
+
+  /// Wall seconds to wait before (0-based) attempt `attempt`:
+  /// base * 2^(attempt-1), 0 for the first attempt. The exponent is
+  /// clamped so a large budget cannot overflow the double.
+  double backoff_before(int attempt) const;
+};
+
+/// Lane lifecycle (docs/architecture.md §15). kHealthy lanes pull
+/// batches; a lane-fatal failure moves the lane through kRestarting
+/// (fresh Machine/Problem/Enactor over the shared partition) back to
+/// kHealthy, until its restart budget is spent — then kQuarantined,
+/// permanently for the run, with its in-flight batch requeued to the
+/// surviving lanes.
+enum class LaneState : std::uint8_t { kHealthy, kRestarting, kQuarantined };
+
+const char* to_string(LaneState state);
+
+/// Per-lane supervision counters, surfaced in ServeStats and the
+/// serve_stats_to_json export.
+struct LaneStats {
+  int lane = 0;
+  LaneState state = LaneState::kHealthy;
+  std::uint64_t batches = 0;         ///< enactments completed (answers)
+  std::uint64_t restarts = 0;        ///< fresh-Machine rebuilds
+  std::uint64_t requeues = 0;        ///< failed batches handed back
+  std::uint64_t failed_queries = 0;  ///< queries resolved terminally here
+  std::uint64_t faults_injected = 0; ///< injector events on this lane
+};
+
+/// One queued unit of work: an index into the service's batch list
+/// plus its retry state. Tickets are value types — the queue never
+/// owns batch payloads.
+struct BatchTicket {
+  std::size_t batch_index = 0;
+  int attempt = 0;          ///< 0-based enactment attempt this dispatch is
+  double not_before_s = 0;  ///< earliest dispatch time on the run clock
+};
+
+/// MPMC ready-time work queue feeding the lanes. pop() hands out the
+/// ticket with the smallest (not_before_s, batch_index) that is ready
+/// on the caller's clock, blocking (bounded waits) until one ripens or
+/// the queue closes. close() wakes and drains every waiter; a closed
+/// queue's pop() returns nullopt once no tickets remain.
+class BatchQueue {
+ public:
+  void push(BatchTicket ticket);
+
+  /// Next ready ticket ordered by (not_before_s, batch_index), or
+  /// nullopt once the queue is closed and empty. `clock` is the run
+  /// clock `not_before_s` values are relative to.
+  std::optional<BatchTicket> pop(const util::WallTimer& clock);
+
+  /// Snapshot-and-clear every queued ticket (ready or not) — the
+  /// all-lanes-quarantined drain, where the caller fails the tickets'
+  /// unresolved queries instead of running them.
+  std::vector<BatchTicket> drain();
+
+  void close();
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<BatchTicket> tickets_;
+  bool closed_ = false;
+};
+
+/// The lane state machine + failure classifier. Thread-safe: lanes
+/// report failures and restarts concurrently with the dispatcher
+/// reading live-lane counts.
+class Supervisor {
+ public:
+  /// `max_lane_restarts`: fresh-Machine rebuilds each lane may spend
+  /// before a further lane-fatal failure quarantines it.
+  Supervisor(int num_lanes, int max_lane_restarts);
+
+  /// What to do about one failed enactment attempt.
+  struct Decision {
+    bool retry_batch = false;      ///< requeue with attempt + 1
+    double backoff_s = 0;          ///< wall delay before the retry
+    bool restart_lane = false;     ///< rebuild this lane's Machine
+    bool quarantine_lane = false;  ///< restart budget spent
+    /// Terminal status for the batch's unresolved queries when
+    /// retry_batch is false.
+    Status query_status = Status::kUnavailable;
+  };
+
+  /// Classify attempt `attempt` (0-based) of a batch failing on
+  /// `lane` with error status `status`. kTimedOut (a deadline abort)
+  /// never touches the lane; kUnavailable / kOutOfMemory are
+  /// lane-fatal (device loss, retry exhaustion, capacity collapse) and
+  /// charge the lane's restart budget. The batch retries while its own
+  /// attempt budget lasts AND at least one lane will be alive to run
+  /// it. Updates the lane's state and counters atomically with the
+  /// decision.
+  Decision on_failure(int lane, Status status, int attempt,
+                      const RetryPolicy& policy);
+
+  /// The lane finished rebuilding and is pulling work again.
+  void on_restarted(int lane);
+
+  /// Unconditionally quarantine `lane` — the escape hatch for failures
+  /// outside an enactment (e.g. the fresh Machine's rebuild itself
+  /// faulted), where there is no attempt to classify.
+  void quarantine(int lane);
+
+  LaneState state(int lane) const;
+  /// Lanes not quarantined (healthy or mid-restart) — the lanes that
+  /// can still answer.
+  int live_lanes() const;
+
+  /// Mutable per-lane counters (the owning lane thread is the only
+  /// writer of lane `i`'s entry during a run; reads for reporting
+  /// happen after the lanes joined).
+  LaneStats& stats(int lane) { return stats_[static_cast<std::size_t>(lane)]; }
+  const std::vector<LaneStats>& all_stats() const { return stats_; }
+
+ private:
+  mutable std::mutex mutex_;
+  int max_lane_restarts_;
+  std::vector<LaneState> states_;
+  std::vector<LaneStats> stats_;
+};
+
+}  // namespace mgg::serve

@@ -25,6 +25,7 @@ enum class Status : std::uint8_t {
   kUnsupported,       ///< valid request the implementation does not handle
   kTimedOut,          ///< wall-clock deadline exceeded (watchdog abort)
   kUnavailable,       ///< peer/device lost or permanently failing
+  kResourceExhausted, ///< admission/queue capacity exceeded (load shed)
 };
 
 /// Human-readable name of a Status value.
@@ -39,6 +40,7 @@ constexpr std::string_view to_string(Status s) {
     case Status::kUnsupported: return "unsupported";
     case Status::kTimedOut: return "timed_out";
     case Status::kUnavailable: return "unavailable";
+    case Status::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

@@ -70,6 +70,10 @@ struct RunStats {
   std::uint64_t degraded_reruns = 0;
   /// Watchdog wall-clock deadline this run was armed with (0 = off).
   double watchdog_deadline_s = 0;
+  /// Per-run enactment budget this run was armed with via
+  /// EnactorBase::set_enact_deadline (0 = off). The serve layer arms
+  /// it per batch from the member queries' remaining deadlines.
+  double enact_deadline_s = 0;
   /// Wire-format accounting (core/comm.hpp WireFormat): payload bytes
   /// split by the format each delivered message traveled in — the
   /// three sum to total_comm_bytes — plus the vertices that passed

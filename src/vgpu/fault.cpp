@@ -95,22 +95,31 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     const char* p = item.c_str() + at + 1;
     char* end = nullptr;
     spec.device = static_cast<int>(std::strtol(p, &end, 10));
-    MGG_REQUIRE(end != p, "fault spec '" + item + "': bad device");
+    // -1 is the documented "any device" wildcard; anything more
+    // negative is a typo, not a site.
+    MGG_REQUIRE(end != p && spec.device >= -1,
+                "fault spec '" + item + "': bad device");
     p = end;
     if (*p == '>') {
       ++p;
       spec.peer = static_cast<int>(std::strtol(p, &end, 10));
-      MGG_REQUIRE(end != p, "fault spec '" + item + "': bad peer");
+      MGG_REQUIRE(end != p && spec.peer >= -1,
+                  "fault spec '" + item + "': bad peer");
       p = end;
     }
     if (*p == '#') {
       ++p;
+      // strtoull silently wraps a negative literal to a huge count;
+      // reject the sign explicitly so "#-3" names its token.
+      MGG_REQUIRE(*p != '-',
+                  "fault spec '" + item + "': bad at_event");
       spec.at_event = std::strtoull(p, &end, 10);
       MGG_REQUIRE(end != p, "fault spec '" + item + "': bad at_event");
       p = end;
     }
     if (*p == 'x') {
       ++p;
+      MGG_REQUIRE(*p != '-', "fault spec '" + item + "': bad count");
       spec.count = std::strtoull(p, &end, 10);
       MGG_REQUIRE(end != p && spec.count > 0,
                   "fault spec '" + item + "': bad count");
@@ -125,6 +134,15 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     }
     MGG_REQUIRE(*p == '\0',
                 "fault spec '" + item + "': trailing junk '" + p + "'");
+    // Duplicate site coverage is almost always a copy-paste error (the
+    // two specs would double-fire every covered event); reject it
+    // naming the token instead of silently stacking.
+    for (const FaultSpec& prior : plan.specs) {
+      MGG_REQUIRE(prior.kind != spec.kind || prior.device != spec.device ||
+                      prior.peer != spec.peer ||
+                      prior.at_event != spec.at_event,
+                  "duplicate fault spec '" + item + "'");
+    }
     plan.specs.push_back(spec);
   }
   return plan;
@@ -338,6 +356,33 @@ std::unique_ptr<FaultInjector> make_injector_from_flags(
   FaultPlan plan = plan_text.empty()
                        ? FaultPlan::from_seed(fault_seed, num_devices)
                        : FaultPlan::parse(plan_text);
+  return std::make_unique<FaultInjector>(std::move(plan), num_devices);
+}
+
+std::uint64_t lane_fault_seed(std::uint64_t base_seed, int lane) {
+  // Golden-ratio stride before the splitmix keeps lanes 0 and 1 as
+  // decorrelated as lanes 0 and 1000; +1 so lane 0 is not the raw base.
+  return util::splitmix64(base_seed ^
+                          (0x9e3779b97f4a7c15ULL *
+                           static_cast<std::uint64_t>(lane + 1)));
+}
+
+std::unique_ptr<FaultInjector> make_lane_injector_from_flags(
+    const std::string& plan_text, std::uint64_t fault_seed, int lane,
+    int num_devices) {
+  MGG_REQUIRE(lane >= 0, "lane index must be >= 0");
+  FaultPlan plan;
+  // A scripted plan is a targeted scenario (e.g. one permanent device
+  // loss); it arms lane 0 only, so the remaining lanes model the
+  // healthy rest of the fleet.
+  if (!plan_text.empty() && lane == 0) plan = FaultPlan::parse(plan_text);
+  if (fault_seed != 0) {
+    FaultPlan seeded =
+        FaultPlan::from_seed(lane_fault_seed(fault_seed, lane), num_devices);
+    plan.specs.insert(plan.specs.end(), seeded.specs.begin(),
+                      seeded.specs.end());
+  }
+  if (plan.empty()) return nullptr;
   return std::make_unique<FaultInjector>(std::move(plan), num_devices);
 }
 

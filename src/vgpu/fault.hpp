@@ -209,4 +209,22 @@ class FaultInjector {
 std::unique_ptr<FaultInjector> make_injector_from_flags(
     const std::string& plan_text, std::uint64_t fault_seed, int num_devices);
 
+/// Deterministic per-lane seed derivation for the serve layer: lane
+/// `lane` of a service chaos-seeded with `base_seed` draws its own
+/// FaultPlan::from_seed plan from this value, so a multi-lane run is
+/// reproducible from (base_seed, lane) alone and lanes never share a
+/// fault schedule.
+std::uint64_t lane_fault_seed(std::uint64_t base_seed, int lane);
+
+/// Per-lane variant of make_injector_from_flags for serve::QueryService
+/// lanes. A scripted `plan_text` (FaultPlan::parse syntax) arms lane 0
+/// only — a targeted scenario such as a permanent device loss takes
+/// out exactly one lane — while a nonzero `fault_seed` derives an
+/// independent deterministic transient plan for *every* lane via
+/// lane_fault_seed (both may combine on lane 0). Returns nullptr when
+/// the lane ends up with no faults to inject.
+std::unique_ptr<FaultInjector> make_lane_injector_from_flags(
+    const std::string& plan_text, std::uint64_t fault_seed, int lane,
+    int num_devices);
+
 }  // namespace mgg::vgpu

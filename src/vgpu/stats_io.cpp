@@ -43,6 +43,7 @@ std::string run_stats_to_json(const RunStats& stats,
   w.key("degraded_reruns").value(
       static_cast<unsigned long long>(stats.degraded_reruns));
   w.key("watchdog_deadline_s").value(stats.watchdog_deadline_s);
+  w.key("enact_deadline_s").value(stats.enact_deadline_s);
   w.key("wire_bytes_raw").value(
       static_cast<unsigned long long>(stats.wire_bytes_raw));
   w.key("wire_bytes_bitmap").value(

@@ -809,5 +809,96 @@ TEST(FaultRecovery, DegradedReenactOnDeviceLoss) {
   machine.set_fault_injector(nullptr);
 }
 
+// ---------------------------------------------------------------------
+// FaultPlan::parse error paths: every malformed token must be rejected
+// with kInvalidArgument NAMING the offending token, never silently
+// skipped or misparsed.
+// ---------------------------------------------------------------------
+
+void expect_parse_rejects(const std::string& text,
+                          const std::string& must_mention) {
+  try {
+    (void)vgpu::FaultPlan::parse(text);
+    FAIL() << "parse accepted '" << text << "'";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidArgument) << text;
+    EXPECT_NE(std::string(e.what()).find(must_mention), std::string::npos)
+        << "error for '" << text << "' does not name '" << must_mention
+        << "': " << e.what();
+  }
+}
+
+TEST(FaultInjection, ParseRejectsUnknownKind) {
+  expect_parse_rejects("kernel_fautl@1", "kernel_fautl");
+  expect_parse_rejects("@1", "unknown fault kind");
+}
+
+TEST(FaultInjection, ParseRejectsMissingOrBadDevice) {
+  expect_parse_rejects("kernel_fault", "missing '@device'");
+  expect_parse_rejects("kernel_fault@", "bad device");
+  expect_parse_rejects("kernel_fault@x", "bad device");
+  // -1 is the wildcard; -2 is a typo, not a site.
+  expect_parse_rejects("kernel_fault@-2", "bad device");
+}
+
+TEST(FaultInjection, ParseRejectsBadPeer) {
+  expect_parse_rejects("transfer_transient@0>", "bad peer");
+  expect_parse_rejects("transfer_transient@0>-3", "bad peer");
+}
+
+TEST(FaultInjection, ParseRejectsNegativeOrZeroCounts) {
+  // strtoull would silently wrap "-3" to a huge count; the sign must
+  // be rejected explicitly.
+  expect_parse_rejects("alloc_transient@1x-3", "bad count");
+  expect_parse_rejects("alloc_transient@1x0", "bad count");
+  expect_parse_rejects("alloc_transient@1#-2", "bad at_event");
+}
+
+TEST(FaultInjection, ParseRejectsBadFactorAndTrailingJunk) {
+  expect_parse_rejects("kernel_slowdown@0*", "bad factor");
+  expect_parse_rejects("kernel_slowdown@0*-4", "bad factor");
+  expect_parse_rejects("alloc_transient@1z9", "trailing junk");
+}
+
+TEST(FaultInjection, ParseRejectsDuplicateSpecs) {
+  expect_parse_rejects("alloc_transient@1#3,alloc_transient@1#3",
+                       "duplicate fault spec 'alloc_transient@1#3'");
+  // Same site, different windows: legal (they cover different events).
+  EXPECT_NO_THROW(
+      (void)vgpu::FaultPlan::parse("alloc_transient@1#3,alloc_transient@1#9"));
+  // Different peers on the same link site: distinct sites, legal.
+  EXPECT_NO_THROW((void)vgpu::FaultPlan::parse(
+      "transfer_transient@0>1,transfer_transient@0>2"));
+}
+
+TEST(FaultInjection, LaneSeedDerivationIsDecorrelatedAndDeterministic) {
+  // Same (base, lane) -> same seed; distinct lanes -> distinct seeds;
+  // lane 0 is not the raw base.
+  EXPECT_EQ(vgpu::lane_fault_seed(42, 0), vgpu::lane_fault_seed(42, 0));
+  EXPECT_NE(vgpu::lane_fault_seed(42, 0), vgpu::lane_fault_seed(42, 1));
+  EXPECT_NE(vgpu::lane_fault_seed(42, 1), vgpu::lane_fault_seed(42, 2));
+  EXPECT_NE(vgpu::lane_fault_seed(42, 0), 42u);
+
+  // A scripted plan arms lane 0 only; a seed arms every lane.
+  auto lane0 = vgpu::make_lane_injector_from_flags("kernel_fault@1", 0, 0, 4);
+  ASSERT_NE(lane0, nullptr);
+  EXPECT_EQ(lane0->plan().specs.size(), 1u);
+  EXPECT_EQ(vgpu::make_lane_injector_from_flags("kernel_fault@1", 0, 1, 4),
+            nullptr);
+  auto seeded1 = vgpu::make_lane_injector_from_flags("", 7, 1, 4);
+  auto seeded2 = vgpu::make_lane_injector_from_flags("", 7, 2, 4);
+  ASSERT_NE(seeded1, nullptr);
+  ASSERT_NE(seeded2, nullptr);
+  EXPECT_NE(seeded1->plan().to_string(), seeded2->plan().to_string());
+  // Both at once: lane 0 carries script + its own seeded specs.
+  auto combined = vgpu::make_lane_injector_from_flags("kernel_fault@1", 7,
+                                                      0, 4);
+  ASSERT_NE(combined, nullptr);
+  EXPECT_GT(combined->plan().specs.size(), 1u);
+  EXPECT_EQ(combined->plan().specs.front().kind,
+            vgpu::FaultKind::kKernelFault);
+  EXPECT_EQ(vgpu::make_lane_injector_from_flags("", 0, 3, 4), nullptr);
+}
+
 }  // namespace
 }  // namespace mgg

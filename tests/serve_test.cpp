@@ -248,5 +248,38 @@ TEST(Serve, RejectsSsspOnUnweightedGraph) {
   EXPECT_THROW(service.run(queries), Error);
 }
 
+TEST(Serve, EmptyRunYieldsZeroedStats) {
+  // n = 0 is a well-defined no-op: empty results, fully zeroed stats
+  // (per-lane entries present but all-zero), no threads, no throw —
+  // in both loop modes.
+  serve::QueryService service(serve_graph(), options_for(2, /*lanes=*/2));
+  const std::vector<serve::Query> none;
+  const auto results = service.run(none);
+  EXPECT_TRUE(results.empty());
+  const auto& s = service.stats();
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_EQ(s.answered, 0u);
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.requeues, 0u);
+  EXPECT_EQ(s.lane_restarts, 0u);
+  EXPECT_EQ(s.wall_s, 0.0);
+  EXPECT_EQ(s.modeled_compute_s, 0.0);
+  EXPECT_EQ(s.modeled_comm_s, 0.0);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+  EXPECT_EQ(s.qps, 0.0);
+  ASSERT_EQ(s.lanes.size(), 2u);
+  for (const auto& l : s.lanes) {
+    EXPECT_EQ(l.batches, 0u);
+    EXPECT_EQ(l.restarts, 0u);
+    EXPECT_EQ(l.state, serve::LaneState::kHealthy);
+  }
+  const std::vector<double> no_arrivals;
+  EXPECT_TRUE(service.run_open_loop(none, no_arrivals).empty());
+  EXPECT_EQ(service.stats().queries, 0u);
+}
+
 }  // namespace
 }  // namespace mgg

@@ -356,5 +356,45 @@ TEST(TwoLevel, GatewayHopRetryExhaustionSurfacesUnavailable) {
   EXPECT_NO_THROW(enactor.enact());
 }
 
+TEST(TwoLevel, GatewayFailoverElectsNextLiveDeviceInNode) {
+  // When the elected relay is the permanently lost device, CommBus
+  // must deterministically re-elect the next live device of the source
+  // node rather than staging relays through a dead gateway.
+  auto machine = vgpu::Machine::create_cluster("k40", 2, 2);
+  core::CommBus bus(machine);
+  const vgpu::Interconnect& net = machine.interconnect();
+  // Fault-free election is the interconnect formula.
+  ASSERT_EQ(net.gateway(0, 2), 1);
+  EXPECT_EQ(bus.elect_gateway(0, 2), 1);
+  EXPECT_EQ(bus.elect_gateway(1, 3), 1);
+  EXPECT_EQ(bus.elect_gateway(2, 0), 2);
+
+  // Permanently lose device 1, the elected node-0 relay toward node 1.
+  vgpu::FaultSpec spec;
+  spec.kind = vgpu::FaultKind::kKernelFault;
+  spec.device = 1;
+  spec.at_event = 0;
+  vgpu::FaultPlan plan;
+  plan.specs.push_back(spec);
+  vgpu::FaultInjector injector(plan, machine.num_devices());
+  machine.set_fault_injector(&injector);
+  (void)injector.on_kernel(1);
+  ASSERT_EQ(injector.lost_device(), 1);
+
+  // Deterministic failover: the next live device in the SOURCE node
+  // (device 0), repeatedly — election is stateless.
+  EXPECT_EQ(bus.elect_gateway(0, 2), 0);
+  EXPECT_EQ(bus.elect_gateway(0, 2), 0);
+  EXPECT_EQ(bus.elect_gateway(1, 3), 0);
+  // Relays whose elected gateway is not the lost device are untouched.
+  EXPECT_EQ(bus.elect_gateway(2, 0), 2);
+
+  // Acknowledging the loss (degraded re-enact / lane restart) restores
+  // the formula gateway.
+  injector.acknowledge_device_loss();
+  EXPECT_EQ(injector.lost_device(), -1);
+  EXPECT_EQ(bus.elect_gateway(0, 2), 1);
+}
+
 }  // namespace
 }  // namespace mgg
